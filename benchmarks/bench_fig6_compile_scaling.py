@@ -1,0 +1,67 @@
+"""Fig. 6 -- compilation time as a function of the generated code size.
+
+The paper shows a near-linear relationship between the number of LLVM
+instructions of a query and its (un)optimized compilation time over all TPC-H
+and TPC-DS queries (300 to 19,000 instructions).  The reproduction measures
+the IR instruction count and per-tier preparation time of every TPC-H-derived
+and TPC-DS-flavoured query, prints the series, fits the linear cost model the
+adaptive policy uses, and checks that compile time grows with code size.
+"""
+
+from repro.backend import compile_optimized, compile_unoptimized
+from repro.backend.cost_model import CostModel
+from repro.vm import translate_function
+from repro.workloads import TPCDS_QUERIES, TPCH_QUERIES
+
+from conftest import fmt_ms, print_table, tpch_query_set
+
+
+def _measure(db, label, sql):
+    generated, _, _ = db.generate(sql)
+    instructions = generated.instruction_count
+    bytecode_seconds = 0.0
+    unoptimized_seconds = 0.0
+    optimized_seconds = 0.0
+    for pipeline in generated.pipelines:
+        _, stats = translate_function(pipeline.function)
+        bytecode_seconds += stats.translation_seconds
+        unoptimized_seconds += compile_unoptimized(pipeline.function).compile_seconds
+        optimized_seconds += compile_optimized(pipeline.function).compile_seconds
+    return [label, instructions, fmt_ms(bytecode_seconds),
+            fmt_ms(unoptimized_seconds), fmt_ms(optimized_seconds),
+            (instructions, bytecode_seconds, unoptimized_seconds,
+             optimized_seconds)]
+
+
+def test_fig6_compile_time_scaling(tpch_small, tpcds_small, benchmark):
+    rows = []
+    samples = []
+    for number in tpch_query_set():
+        row = _measure(tpch_small, f"TPC-H Q{number}", TPCH_QUERIES[number])
+        samples.append(row.pop())
+        rows.append(row)
+    for number in sorted(TPCDS_QUERIES):
+        row = _measure(tpcds_small, f"TPC-DS Q{number}", TPCDS_QUERIES[number])
+        samples.append(row.pop())
+        rows.append(row)
+
+    rows.sort(key=lambda r: r[1])
+    print_table("Fig. 6: compile time vs generated code size",
+                ["query", "IR instructions", "bytecode [ms]",
+                 "unoptimized [ms]", "optimized [ms]"], rows)
+
+    # Fit the linear model (the paper's empirical cost function).
+    model = CostModel()
+    model.fit("unoptimized", [(n, u) for n, _, u, _ in samples])
+    model.fit("optimized", [(n, o) for n, _, _, o in samples])
+    print(f"fitted unoptimized: {model.estimates['unoptimized'].per_instruction_seconds * 1e6:.2f} us/instruction")
+    print(f"fitted optimized:   {model.estimates['optimized'].per_instruction_seconds * 1e6:.2f} us/instruction")
+
+    # Shape checks: compile time grows with code size, optimized > unoptimized
+    # > bytecode for the largest queries.
+    largest = max(samples, key=lambda s: s[0])
+    smallest = min(samples, key=lambda s: s[0])
+    assert largest[3] > smallest[3]          # optimized grows
+    assert largest[3] > largest[2] > largest[1]
+
+    benchmark(lambda: tpch_small.generate(TPCH_QUERIES[1]))

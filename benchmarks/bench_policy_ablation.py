@@ -1,0 +1,63 @@
+"""Fig. 7 ablation -- what the adaptive policy decides as work grows.
+
+Not a table of the paper by itself, but the mechanism behind Fig. 13/14: the
+extrapolation of the three execution options must pick interpretation for
+tiny pipelines, unoptimized compilation for medium ones and optimized
+compilation for long-running ones.  This bench sweeps the remaining-work axis
+and prints the decision and extrapolated durations at each point.
+"""
+
+from repro.adaptive import AdaptivePolicy, Decision, ExecutionMode, PipelineProgress
+from repro.backend.cost_model import CostModel, TierEstimate
+
+from conftest import print_table
+
+MODEL = CostModel(estimates={
+    "bytecode": TierEstimate(0.0005, 2e-6, 1.0),
+    "unoptimized": TierEstimate(0.002, 2e-5, 2.5),
+    "optimized": TierEstimate(0.006, 8e-5, 4.0),
+})
+
+REMAINING_TUPLES = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
+
+
+def test_policy_decision_sweep(benchmark):
+    policy = AdaptivePolicy(MODEL)
+    rows = []
+    decisions = []
+    for remaining in REMAINING_TUPLES:
+        progress = PipelineProgress(total_tuples=remaining + 5_000,
+                                    num_threads=8)
+        progress.record_morsel(0, 5_000, 5_000 / 150_000)
+        evaluation = policy.evaluate(progress, ExecutionMode.BYTECODE,
+                                     instruction_count=800, active_workers=8,
+                                     elapsed_seconds=0.01)
+        decisions.append(evaluation.decision)
+        rows.append([
+            remaining,
+            f"{evaluation.keep_seconds * 1000:.2f}",
+            f"{evaluation.unoptimized_seconds * 1000:.2f}",
+            f"{evaluation.optimized_seconds * 1000:.2f}",
+            evaluation.decision.value,
+        ])
+    print_table("Fig. 7 policy: extrapolated durations by remaining work",
+                ["remaining tuples", "keep [ms]", "unoptimized [ms]",
+                 "optimized [ms]", "decision"], rows)
+
+    # Small pipelines stay interpreted, huge pipelines compile optimized, and
+    # the decision sequence is monotone (never going back to a cheaper tier).
+    assert decisions[0] is Decision.DO_NOTHING
+    assert decisions[-1] is Decision.OPTIMIZED
+    order = {Decision.DO_NOTHING: 0, Decision.UNOPTIMIZED: 1,
+             Decision.OPTIMIZED: 2}
+    ranks = [order[d] for d in decisions]
+    assert ranks == sorted(ranks)
+
+    benchmark(lambda: policy.evaluate(
+        _fresh_progress(), ExecutionMode.BYTECODE, 800, 8, 0.01))
+
+
+def _fresh_progress():
+    progress = PipelineProgress(total_tuples=1_000_000, num_threads=8)
+    progress.record_morsel(0, 5_000, 5_000 / 150_000)
+    return progress

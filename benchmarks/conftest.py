@@ -1,0 +1,82 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper: it
+measures the relevant quantities on this implementation, prints the rows /
+series in the same shape the paper reports, and exposes at least one
+``benchmark``-fixture measurement so ``pytest benchmarks/ --benchmark-only``
+produces timing statistics.
+
+Scale note: the default data sizes are small enough for CI (see DESIGN.md);
+set ``REPRO_BENCH_FULL=1`` to run the larger sweep (more scale factors, all
+22 TPC-H queries everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import Database                                  # noqa: E402
+from repro.workloads import (                               # noqa: E402
+    TPCH_QUERIES,
+    populate_tpch,
+    populate_tpcds,
+    populate_wide_table,
+)
+
+#: Full sweep toggle.
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Queries used where running all 22 would be too slow for CI.
+REPRESENTATIVE_TPCH = [1, 3, 5, 6, 10, 11, 12, 14, 18, 19]
+
+
+def tpch_query_set() -> list[int]:
+    return sorted(TPCH_QUERIES) if FULL else REPRESENTATIVE_TPCH
+
+
+@pytest.fixture(scope="session")
+def tpch_small() -> Database:
+    """TPC-H instance used for per-query measurements (about SF 0.05)."""
+    return populate_tpch(scale_factor=0.05, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tpcds_small() -> Database:
+    return populate_tpcds(fact_rows=3000)
+
+
+@pytest.fixture(scope="session")
+def wide_db() -> Database:
+    return populate_wide_table(num_rows=400)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a result table in a fixed-width layout (captured in bench logs)."""
+    print()
+    print(f"=== {title} ===")
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}"
+
+
+def geometric_mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))

@@ -1,0 +1,48 @@
+"""Machine-generated queries: why the linear-time bytecode translation matters.
+
+Business-intelligence tools emit queries with thousands of expressions
+(paper Section V-E).  This example generates progressively wider aggregate
+queries, compares how long each execution tier takes to *prepare* them, and
+shows that adaptive execution keeps the end-to-end latency flat because it
+only compiles when the data size justifies it.
+
+Run with:  python examples/large_queries.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.workloads import populate_wide_table, wide_aggregate_query
+
+
+def main() -> None:
+    db = populate_wide_table(num_rows=2_000)
+
+    print(f"{'aggregates':>10} {'IR insts':>9} | "
+          f"{'bytecode prep':>13} {'unopt prep':>11} {'opt prep':>9} | "
+          f"{'adaptive total':>14}")
+    for num_aggregates in (10, 50, 150, 400):
+        sql = wide_aggregate_query(num_aggregates)
+
+        bytecode = db.execute(sql, mode="bytecode")
+        unoptimized = db.execute(sql, mode="unoptimized")
+        optimized = db.execute(sql, mode="optimized")
+        adaptive = db.execute(sql, mode="adaptive")
+
+        print(f"{num_aggregates:>10} {bytecode.ir_instructions:>9} | "
+              f"{bytecode.timings.compile * 1000:>11.1f} ms "
+              f"{unoptimized.timings.compile * 1000:>8.1f} ms "
+              f"{optimized.timings.compile * 1000:>6.1f} ms | "
+              f"{adaptive.timings.total * 1000:>11.1f} ms")
+
+    print("\nPreparation cost grows much faster for the compiling tiers; the "
+          "bytecode translation stays linear,\nwhich is what lets the "
+          "adaptive engine accept arbitrarily large generated queries "
+          "(paper Fig. 15).")
+
+
+if __name__ == "__main__":
+    main()

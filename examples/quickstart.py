@@ -1,0 +1,82 @@
+"""Quickstart: create tables, load data, run queries in every execution mode.
+
+Run with:  python examples/quickstart.py
+"""
+
+import datetime as dt
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro import Database, SQLType
+
+
+def main() -> None:
+    db = Database()
+
+    # --- schema ---------------------------------------------------------
+    db.create_table("customers", [
+        ("c_id", SQLType.INT64),
+        ("c_name", SQLType.STRING),
+        ("c_segment", SQLType.STRING),
+        ("c_balance", SQLType.DECIMAL),
+    ])
+    db.create_table("orders", [
+        ("o_id", SQLType.INT64),
+        ("o_customer", SQLType.INT64),
+        ("o_total", SQLType.DECIMAL),
+        ("o_date", SQLType.DATE),
+    ])
+
+    # --- data -------------------------------------------------------------
+    rng = random.Random(0)
+    segments = ["consumer", "corporate", "home office"]
+    db.insert("customers", [
+        (i, f"customer-{i}", rng.choice(segments),
+         round(rng.uniform(-500, 5000), 2))
+        for i in range(200)])
+    db.insert("orders", [
+        (i, rng.randrange(200), round(rng.uniform(10, 900), 2),
+         dt.date(1997, 1, 1) + dt.timedelta(days=rng.randrange(720)))
+        for i in range(20_000)])
+
+    sql = """
+        select c_segment,
+               count(*) as num_orders,
+               sum(o_total) as revenue,
+               avg(o_total) as avg_order
+        from orders, customers
+        where o_customer = c_id
+          and o_date >= date '1997-06-01'
+          and c_balance > 0.0
+        group by c_segment
+        order by revenue desc
+    """
+
+    print("query:")
+    print(sql)
+
+    # --- one query, every execution strategy -------------------------------
+    for mode in ("adaptive", "bytecode", "unoptimized", "optimized",
+                 "volcano", "vectorized"):
+        result = db.execute(sql, mode=mode)
+        timings = result.timings
+        print(f"[{mode:>11}] total={timings.total * 1000:7.2f} ms  "
+              f"(plan {timings.planning * 1000:5.2f}, "
+              f"codegen {timings.codegen * 1000:5.2f}, "
+              f"compile {timings.compile * 1000:6.2f}, "
+              f"execute {timings.execution * 1000:6.2f})")
+
+    result = db.execute(sql, mode="adaptive")
+    print("\nresult rows:")
+    for row in result.rows:
+        segment, count, revenue, avg_order = row
+        print(f"  {segment:12s}  orders={count:5d}  "
+              f"revenue={revenue:12.2f}  avg={avg_order:7.2f}")
+
+
+if __name__ == "__main__":
+    main()

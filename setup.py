@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments without the ``wheel`` package
+(legacy editable installs go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro -- Adaptive Execution of Compiled Queries, reproduced in Python.
+
+This package reproduces the system described in
+
+    André Kohn, Viktor Leis, Thomas Neumann:
+    "Adaptive Execution of Compiled Queries", ICDE 2018.
+
+The public entry point is :class:`repro.Database`:
+
+    >>> from repro import Database, SQLType
+    >>> db = Database()
+    >>> db.create_table("t", [("a", SQLType.INT64), ("b", SQLType.INT64)])
+    >>> db.insert("t", [(1, 10), (2, 20), (3, 30)])
+    3
+    >>> result = db.execute("select sum(b) as total from t where a >= 2",
+    ...                     mode="adaptive")
+    >>> result.rows
+    [(50,)]
+
+Execution modes: ``adaptive`` (the paper's contribution), the static tiers
+``bytecode`` / ``unoptimized`` / ``optimized`` / ``ir-interp``, and the
+baseline engines ``volcano`` and ``vectorized``.
+"""
+
+from .engine import (
+    Database,
+    PhaseTimings,
+    PipelineExecution,
+    QueryResult,
+    ENGINE_MODES,
+    BASELINE_MODES,
+    DEFAULT_MORSEL_SIZE,
+)
+from .errors import ReproError
+from .types import SQLType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database", "QueryResult", "PhaseTimings", "PipelineExecution",
+    "SQLType", "ReproError",
+    "ENGINE_MODES", "BASELINE_MODES", "DEFAULT_MORSEL_SIZE",
+    "__version__",
+]

@@ -1,0 +1,258 @@
+"""Adaptive and static multi-threaded query executors.
+
+:class:`AdaptiveExecutor` implements the paper's execution loop: every
+pipeline starts on all worker threads in the bytecode interpreter, progress
+is tracked per morsel, and the Fig. 7 policy decides when to compile the
+pipeline's worker function.  With more than one worker thread the compilation
+runs on a background thread while the other threads keep interpreting; with a
+single thread the compilation happens synchronously (matching the w=1 case of
+the extrapolation formula).
+
+:class:`StaticParallelExecutor` executes a query with one fixed tier chosen
+up front: all worker functions are compiled first (single-threaded -- the
+paper's point about idle cores during compilation), then the pipelines run
+morsel-parallel.
+
+Note on parallelism: CPython's GIL prevents real speedups for the
+pure-Python interpreters, so wall-clock numbers from these executors do not
+scale with the thread count.  They are functionally faithful (work stealing,
+seamless mode switches, no lost work) and are used by the tests and examples;
+the paper's multi-threaded *timing* experiments use the virtual-time
+simulator in :mod:`repro.adaptive.simulation` instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..backend.cost_model import CostModel, default_cost_model
+from ..codegen import GeneratedPipeline, GeneratedQuery
+from ..engine import PhaseTimings, PipelineExecution, QueryResult
+from ..errors import AdaptiveError
+from ..optimizer import PlanningResult
+from .modes import ExecutionMode, FunctionHandle
+from .morsel import MorselDispatcher
+from .policy import AdaptivePolicy, Decision
+from .progress import PipelineProgress
+from .trace import ExecutionTrace, TraceEvent
+
+#: Initial morsel size for adaptive execution (grows towards the maximum),
+#: giving the policy early sample points as described in the paper.
+INITIAL_MORSEL_SIZE = 1024
+
+
+class AdaptiveExecutor:
+    """Executes a generated query with per-pipeline adaptive mode switching."""
+
+    def __init__(self, database, num_threads: int = 1,
+                 collect_trace: bool = False,
+                 cost_model: Optional[CostModel] = None,
+                 policy: Optional[AdaptivePolicy] = None):
+        self.database = database
+        self.num_threads = max(num_threads, 1)
+        self.collect_trace = collect_trace
+        self.cost_model = cost_model or default_cost_model()
+        self.policy = policy or AdaptivePolicy(self.cost_model)
+
+    # ------------------------------------------------------------------ #
+    def execute(self, generated: GeneratedQuery, planning: PlanningResult,
+                timings: PhaseTimings) -> QueryResult:
+        trace = ExecutionTrace(label="adaptive")
+        query_start = time.perf_counter()
+        pipeline_stats: list[PipelineExecution] = []
+
+        for pipeline in generated.pipelines:
+            stats = self._run_pipeline(pipeline, generated, trace, query_start,
+                                       timings)
+            pipeline_stats.append(stats)
+
+        return self.database._assemble_result(
+            generated, planning, timings, "adaptive", pipeline_stats,
+            trace=trace if self.collect_trace else None)
+
+    # ------------------------------------------------------------------ #
+    def _run_pipeline(self, pipeline: GeneratedPipeline,
+                      generated: GeneratedQuery, trace: ExecutionTrace,
+                      query_start: float,
+                      timings: PhaseTimings) -> PipelineExecution:
+        rows = generated.state.source_row_count(pipeline.pipeline)
+        handle = FunctionHandle(pipeline.function, vm=self.database._vm)
+        timings.compile += handle.bytecode_seconds
+
+        progress = PipelineProgress(rows, self.num_threads)
+        dispatcher = MorselDispatcher(
+            rows, morsel_size=self.database.morsel_size,
+            initial_size=min(INITIAL_MORSEL_SIZE,
+                             self.database.morsel_size))
+        decision_lock = threading.Lock()
+        compile_threads: list[threading.Thread] = []
+        pipeline_start = time.perf_counter()
+
+        def maybe_switch(now: float, thread_id: int) -> None:
+            """Evaluate the policy (single evaluator at a time, paper III-C)."""
+            if not decision_lock.acquire(blocking=False):
+                return
+            try:
+                if handle.compiling is not None:
+                    return
+                current = handle.mode
+                if current is ExecutionMode.OPTIMIZED:
+                    return
+                evaluation = self.policy.evaluate(
+                    progress, current, handle.instruction_count,
+                    active_workers=self.num_threads,
+                    elapsed_seconds=now - pipeline_start)
+                target = evaluation.decision.target_mode
+                if target is None or handle.is_compiled(target):
+                    return
+                if self.num_threads == 1:
+                    # Single worker: compile synchronously (w=1 in Fig. 7).
+                    compile_start = time.perf_counter()
+                    handle.compile(target)
+                    compile_end = time.perf_counter()
+                    trace.add(TraceEvent(thread_id,
+                                         compile_start - query_start,
+                                         compile_end - query_start,
+                                         "compile", pipeline.name,
+                                         target.tier_name))
+                    timings.compile += compile_end - compile_start
+                    progress.reset_rates()
+                    return
+
+                def compile_job():
+                    compile_start = time.perf_counter()
+                    handle.compile(target)
+                    compile_end = time.perf_counter()
+                    trace.add(TraceEvent(self.num_threads,  # compiler thread
+                                         compile_start - query_start,
+                                         compile_end - query_start,
+                                         "compile", pipeline.name,
+                                         target.tier_name))
+                    progress.reset_rates()
+
+                job = threading.Thread(target=compile_job,
+                                       name=f"compile-{pipeline.name}",
+                                       daemon=True)
+                compile_threads.append(job)
+                job.start()
+            finally:
+                decision_lock.release()
+
+        def worker_loop(thread_id: int) -> None:
+            while True:
+                morsel = dispatcher.next_morsel()
+                if morsel is None:
+                    return
+                executable, mode = handle.executable()
+                start = time.perf_counter()
+                executable(None, morsel.begin, morsel.end)
+                end = time.perf_counter()
+                progress.record_morsel(thread_id, morsel.size, end - start)
+                trace.add(TraceEvent(thread_id, start - query_start,
+                                     end - query_start, "morsel",
+                                     pipeline.name, mode.tier_name,
+                                     morsel.size))
+                maybe_switch(end, thread_id)
+
+        if rows > 0:
+            if self.num_threads == 1:
+                worker_loop(0)
+            else:
+                threads = [threading.Thread(target=worker_loop, args=(i,),
+                                            name=f"worker-{i}")
+                           for i in range(self.num_threads)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        for job in compile_threads:
+            job.join()
+
+        if pipeline.finish is not None:
+            pipeline.finish()
+        elapsed = time.perf_counter() - pipeline_start
+        timings.execution += elapsed
+
+        mode_history: list[str] = []
+        for event in trace.events:
+            if event.pipeline == pipeline.name and event.kind == "morsel":
+                if not mode_history or mode_history[-1] != event.mode:
+                    mode_history.append(event.mode)
+        return PipelineExecution(
+            name=pipeline.name, rows=rows,
+            morsels=dispatcher.dispatched, seconds=elapsed,
+            mode_history=mode_history or ["bytecode"],
+            ir_instructions=pipeline.function.instruction_count())
+
+
+class StaticParallelExecutor:
+    """Morsel-parallel execution with a single, statically chosen tier."""
+
+    def __init__(self, database, mode: str, num_threads: int = 1,
+                 collect_trace: bool = False):
+        if mode not in ("bytecode", "unoptimized", "optimized", "ir-interp"):
+            raise AdaptiveError(f"unsupported static tier {mode!r}")
+        self.database = database
+        self.mode = mode
+        self.num_threads = max(num_threads, 1)
+        self.collect_trace = collect_trace
+
+    def execute(self, generated: GeneratedQuery, planning: PlanningResult,
+                timings: PhaseTimings) -> QueryResult:
+        trace = ExecutionTrace(label=self.mode)
+        query_start = time.perf_counter()
+        pipeline_stats: list[PipelineExecution] = []
+
+        # Up-front, single-threaded compilation of every worker function --
+        # while this runs, all worker threads are idle (paper Section II-A).
+        executables = []
+        for pipeline in generated.pipelines:
+            executable, compile_seconds = self.database._prepare_tier(
+                pipeline.function, self.mode)
+            timings.compile += compile_seconds
+            executables.append(executable)
+
+        for pipeline, executable in zip(generated.pipelines, executables):
+            rows = generated.state.source_row_count(pipeline.pipeline)
+            dispatcher = MorselDispatcher(rows,
+                                          morsel_size=self.database.morsel_size)
+            pipeline_start = time.perf_counter()
+
+            def worker_loop(thread_id: int) -> None:
+                while True:
+                    morsel = dispatcher.next_morsel()
+                    if morsel is None:
+                        return
+                    start = time.perf_counter()
+                    executable(None, morsel.begin, morsel.end)
+                    end = time.perf_counter()
+                    trace.add(TraceEvent(thread_id, start - query_start,
+                                         end - query_start, "morsel",
+                                         pipeline.name, self.mode,
+                                         morsel.size))
+
+            if rows > 0:
+                if self.num_threads == 1:
+                    worker_loop(0)
+                else:
+                    threads = [threading.Thread(target=worker_loop, args=(i,))
+                               for i in range(self.num_threads)]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+            if pipeline.finish is not None:
+                pipeline.finish()
+            elapsed = time.perf_counter() - pipeline_start
+            timings.execution += elapsed
+            pipeline_stats.append(PipelineExecution(
+                name=pipeline.name, rows=rows,
+                morsels=dispatcher.dispatched, seconds=elapsed,
+                mode_history=[self.mode],
+                ir_instructions=pipeline.function.instruction_count()))
+
+        return self.database._assemble_result(
+            generated, planning, timings, self.mode, pipeline_stats,
+            trace=trace if self.collect_trace else None)

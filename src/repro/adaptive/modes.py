@@ -1,0 +1,127 @@
+"""Execution modes and the per-pipeline function handle (paper Fig. 5).
+
+The :class:`FunctionHandle` is the indirection the paper introduces: instead
+of calling a worker function through a fixed pointer, every morsel goes
+through the handle, which holds all available variants of the function
+(bytecode, unoptimized machine code, optimized machine code) and always
+dispatches to the fastest one.  Switching execution modes is a single
+assignment, so all worker threads pick up the new variant with their next
+morsel.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..backend import compile_function
+from ..errors import AdaptiveError
+from ..ir.function import Function
+from ..vm import BytecodeFunction, VirtualMachine, translate_function
+
+
+class ExecutionMode(enum.IntEnum):
+    """The three execution modes, ordered by throughput."""
+
+    BYTECODE = 0
+    UNOPTIMIZED = 1
+    OPTIMIZED = 2
+
+    @property
+    def tier_name(self) -> str:
+        return self.name.lower()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.tier_name
+
+
+class FunctionHandle:
+    """Holds every available variant of one pipeline worker function."""
+
+    def __init__(self, function: Function,
+                 vm: Optional[VirtualMachine] = None):
+        self.function = function
+        self.vm = vm or VirtualMachine()
+        self._lock = threading.Lock()
+
+        start = time.perf_counter()
+        self._bytecode, self._translation_stats = translate_function(function)
+        self.bytecode_seconds = time.perf_counter() - start
+
+        self._compiled: dict[ExecutionMode, Callable] = {}
+        self._compile_seconds: dict[ExecutionMode, float] = {
+            ExecutionMode.BYTECODE: self.bytecode_seconds}
+        self._current_mode = ExecutionMode.BYTECODE
+        self._current: Callable = self._make_bytecode_callable()
+        self.compiling: Optional[ExecutionMode] = None
+
+    # ------------------------------------------------------------------ #
+    def _make_bytecode_callable(self) -> Callable:
+        bytecode = self._bytecode
+        vm = self.vm
+
+        def run(state, begin, end):
+            vm.execute(bytecode, [state, begin, end])
+        return run
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mode(self) -> ExecutionMode:
+        return self._current_mode
+
+    @property
+    def bytecode(self) -> BytecodeFunction:
+        return self._bytecode
+
+    @property
+    def instruction_count(self) -> int:
+        return self.function.instruction_count()
+
+    def compile_seconds(self, mode: ExecutionMode) -> Optional[float]:
+        return self._compile_seconds.get(mode)
+
+    def is_compiled(self, mode: ExecutionMode) -> bool:
+        return mode is ExecutionMode.BYTECODE or mode in self._compiled
+
+    # ------------------------------------------------------------------ #
+    def executable(self) -> tuple[Callable, ExecutionMode]:
+        """The fastest currently available variant (checked per morsel)."""
+        return self._current, self._current_mode
+
+    def compile(self, mode: ExecutionMode) -> float:
+        """Compile the requested variant (synchronously) and install it.
+
+        Returns the compile time in seconds.  Installing a slower mode than
+        the current one is a no-op apart from making the variant available.
+        """
+        if mode is ExecutionMode.BYTECODE:
+            return self.bytecode_seconds
+        with self._lock:
+            if mode in self._compiled:
+                return self._compile_seconds[mode]
+            self.compiling = mode
+        try:
+            compiled = compile_function(self.function, mode.tier_name)
+        finally:
+            with self._lock:
+                self.compiling = None
+        with self._lock:
+            self._compiled[mode] = compiled
+            self._compile_seconds[mode] = compiled.compile_seconds
+            if mode > self._current_mode:
+                self._current = compiled
+                self._current_mode = mode
+        return compiled.compile_seconds
+
+    def install_external(self, mode: ExecutionMode, callable_: Callable,
+                         compile_seconds: float) -> None:
+        """Install a pre-compiled variant (used by tests and the simulator)."""
+        with self._lock:
+            self._compiled[mode] = callable_
+            self._compile_seconds[mode] = compile_seconds
+            if mode > self._current_mode:
+                self._current = callable_
+                self._current_mode = mode

@@ -1,0 +1,73 @@
+"""Morsel dispatching (paper Sections III-A/III-B).
+
+A pipeline's input is split into morsels -- small, fixed-size ranges of row
+indices.  Worker threads repeatedly grab the next morsel from a shared
+dispatcher (the equivalent of the paper's work-stealing structure: with a
+single shared queue, stealing degenerates to grabbing the next chunk, which
+has the same load-balancing effect for our purposes).  The dispatcher also
+supports the dynamically growing morsel size the paper mentions: early
+morsels are small so the adaptive policy gets sample points quickly, later
+morsels grow to the full size to amortise dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Morsel:
+    """A half-open range ``[begin, end)`` of row indices."""
+
+    begin: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.begin
+
+
+class MorselDispatcher:
+    """Thread-safe dispenser of morsels over ``[0, total_rows)``."""
+
+    def __init__(self, total_rows: int, morsel_size: int = 10_000,
+                 initial_size: Optional[int] = None, growth_factor: int = 2):
+        if morsel_size <= 0:
+            raise ValueError("morsel size must be positive")
+        self.total_rows = total_rows
+        self.max_size = morsel_size
+        self.growth_factor = max(growth_factor, 1)
+        self._current_size = min(initial_size or morsel_size, morsel_size)
+        if self._current_size <= 0:
+            self._current_size = morsel_size
+        self._next_row = 0
+        self._lock = threading.Lock()
+        self.dispatched = 0
+
+    # ------------------------------------------------------------------ #
+    def next_morsel(self) -> Optional[Morsel]:
+        """Grab the next morsel, or None when the input is exhausted."""
+        with self._lock:
+            if self._next_row >= self.total_rows:
+                return None
+            begin = self._next_row
+            size = self._current_size
+            end = min(begin + size, self.total_rows)
+            self._next_row = end
+            self.dispatched += 1
+            # Grow the morsel size (paper: "dynamically growing morsel size").
+            if self._current_size < self.max_size:
+                self._current_size = min(self._current_size *
+                                         self.growth_factor, self.max_size)
+            return Morsel(begin, end)
+
+    @property
+    def remaining_rows(self) -> int:
+        with self._lock:
+            return max(self.total_rows - self._next_row, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining_rows == 0

@@ -1,0 +1,111 @@
+"""The mode-switch decision (paper Fig. 7).
+
+For every pipeline the policy continuously compares three options:
+
+0. keep the current execution mode,
+1. compile the worker function without optimizations,
+2. compile it with optimizations,
+
+by extrapolating the remaining pipeline duration for each option from the
+measured per-thread processing rate, the number of remaining tuples, the
+number of active worker threads, and the cost model's estimates of compile
+time and speedup.  While a compilation is running, the remaining threads keep
+processing tuples in the current mode, which the extrapolation accounts for
+exactly as the paper's pseudo code does::
+
+    t_k = c_k + max(n - (w-1) * r0 * c_k, 0) / r_k / w
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..backend.cost_model import CostModel, default_cost_model
+from .modes import ExecutionMode
+from .progress import PipelineProgress
+
+
+class Decision(enum.Enum):
+    """Outcome of one policy evaluation."""
+
+    DO_NOTHING = "do-nothing"
+    UNOPTIMIZED = "unoptimized"
+    OPTIMIZED = "optimized"
+
+    @property
+    def target_mode(self) -> Optional[ExecutionMode]:
+        if self is Decision.UNOPTIMIZED:
+            return ExecutionMode.UNOPTIMIZED
+        if self is Decision.OPTIMIZED:
+            return ExecutionMode.OPTIMIZED
+        return None
+
+
+@dataclass
+class PolicyEvaluation:
+    """The extrapolated durations behind one decision (for tests/tracing)."""
+
+    decision: Decision
+    keep_seconds: float
+    unoptimized_seconds: Optional[float]
+    optimized_seconds: Optional[float]
+    rate: float
+
+
+class AdaptivePolicy:
+    """Implements the extrapolation of paper Fig. 7."""
+
+    #: Delay before the first evaluation, to let the rate estimates settle.
+    FIRST_EVALUATION_DELAY_SECONDS = 0.001
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model or default_cost_model()
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, progress: PipelineProgress, current: ExecutionMode,
+                 instruction_count: int, active_workers: int,
+                 elapsed_seconds: float) -> PolicyEvaluation:
+        """Compare the three options for a pipeline and pick the fastest."""
+        rate = progress.average_rate()
+        remaining = progress.remaining_tuples
+        workers = max(active_workers, 1)
+
+        if rate is None or remaining <= 0 or \
+                elapsed_seconds < self.FIRST_EVALUATION_DELAY_SECONDS:
+            return PolicyEvaluation(Decision.DO_NOTHING, 0.0, None, None,
+                                    rate or 0.0)
+
+        # Rates are per thread; the paper's r0 is the average thread rate in
+        # the *current* mode.  Speedups in the cost model are relative to the
+        # bytecode tier, so they are rescaled to the current mode.
+        current_speedup = self.cost_model.speedup(current.tier_name)
+        keep_seconds = remaining / rate / workers
+
+        def option(mode: ExecutionMode) -> Optional[float]:
+            if mode <= current:
+                return None
+            compile_seconds = self.cost_model.compile_seconds(
+                mode.tier_name, instruction_count)
+            speedup = (self.cost_model.speedup(mode.tier_name)
+                       / max(current_speedup, 1e-9))
+            faster_rate = rate * speedup
+            # Tuples processed by the other (w-1) threads while compiling.
+            processed_during_compile = (workers - 1) * rate * compile_seconds
+            leftover = max(remaining - processed_during_compile, 0.0)
+            return compile_seconds + leftover / faster_rate / workers
+
+        unopt_seconds = option(ExecutionMode.UNOPTIMIZED)
+        opt_seconds = option(ExecutionMode.OPTIMIZED)
+
+        best = Decision.DO_NOTHING
+        best_seconds = keep_seconds
+        if unopt_seconds is not None and unopt_seconds < best_seconds:
+            best = Decision.UNOPTIMIZED
+            best_seconds = unopt_seconds
+        if opt_seconds is not None and opt_seconds < best_seconds:
+            best = Decision.OPTIMIZED
+            best_seconds = opt_seconds
+        return PolicyEvaluation(best, keep_seconds, unopt_seconds,
+                                opt_seconds, rate)

@@ -1,0 +1,527 @@
+"""Lowering of query IR to executable Python (the "machine code" tiers)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..errors import BackendError
+from ..ir.analysis import reverse_postorder
+from ..ir.function import ExternFunction, Function
+from ..ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CompareInst,
+    CondBranchInst,
+    GEPInst,
+    LoadInst,
+    OverflowCheckInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from ..ir.values import Argument, Constant, Instruction, Undef, Value
+from ..passes import default_pipeline
+from ..vm.regalloc import allocate_registers, constant_slot
+
+#: Preamble shared by all generated modules.
+_PRELUDE = """\
+from repro.errors import DivisionByZeroError, ExecutionError, OverflowError_
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+_INT64_MASK = (1 << 64) - 1
+_INT64_SIGN = 1 << 63
+
+def _wrap64(value):
+    value &= _INT64_MASK
+    if value & _INT64_SIGN:
+        value -= 1 << 64
+    return value
+
+def _sdiv(a, b):
+    if b == 0:
+        raise DivisionByZeroError("integer division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return _wrap64(q)
+
+def _srem(a, b):
+    if b == 0:
+        raise DivisionByZeroError("integer modulo by zero")
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+def _fdiv(a, b):
+    if b == 0.0:
+        raise DivisionByZeroError("float division by zero")
+    return a / b
+
+def _chk(value, message):
+    if value < _INT64_MIN or value > _INT64_MAX:
+        raise OverflowError_(message)
+    return value
+"""
+
+
+@dataclass
+class CompiledFunction:
+    """An executable lowering of one IR function."""
+
+    name: str
+    tier: str
+    entry: Callable
+    compile_seconds: float
+    source: str
+    instructions_before: int
+    instructions_after: int
+    pass_seconds: float = 0.0
+
+    def __call__(self, *args):
+        return self.entry(*args)
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
+def compile_function(function: Function, tier: str,
+                     clone: bool = True) -> CompiledFunction:
+    """Compile ``function`` with the given tier (``"unoptimized"``/``"optimized"``)."""
+    if tier == "unoptimized":
+        return compile_unoptimized(function)
+    if tier == "optimized":
+        return compile_optimized(function, clone=clone)
+    raise BackendError(f"unknown compilation tier {tier!r}")
+
+
+def compile_unoptimized(function: Function) -> CompiledFunction:
+    """Fast lowering: no passes, per-block functions over a register file."""
+    start = time.perf_counter()
+    source, namespace = _lower_blockwise(function)
+    code = compile(source, f"<unoptimized:{function.name}>", "exec")
+    exec(code, namespace)
+    entry = namespace[f"_entry_{_safe(function.name)}"]
+    elapsed = time.perf_counter() - start
+    count = function.instruction_count()
+    return CompiledFunction(
+        name=function.name, tier="unoptimized", entry=entry,
+        compile_seconds=elapsed, source=source,
+        instructions_before=count, instructions_after=count)
+
+
+def compile_optimized(function: Function, clone: bool = True) -> CompiledFunction:
+    """Full lowering: pass pipeline, then a single specialised function."""
+    start = time.perf_counter()
+    target = _clone_function(function) if clone else function
+    before = target.instruction_count()
+    pass_stats = default_pipeline().run_function(target)
+    source, namespace = _lower_whole_function(target)
+    code = compile(source, f"<optimized:{function.name}>", "exec")
+    exec(code, namespace)
+    entry = namespace[f"_entry_{_safe(function.name)}"]
+    elapsed = time.perf_counter() - start
+    return CompiledFunction(
+        name=function.name, tier="optimized", entry=entry,
+        compile_seconds=elapsed, source=source,
+        instructions_before=before,
+        instructions_after=target.instruction_count(),
+        pass_seconds=pass_stats.total_seconds)
+
+
+# --------------------------------------------------------------------------- #
+# cloning (the optimizer mutates IR; the bytecode tier must keep the original)
+# --------------------------------------------------------------------------- #
+def _clone_function(function: Function) -> Function:
+    """Deep-copy an IR function so passes do not disturb other tiers."""
+    import copy
+
+    # The IR graph is self-contained apart from extern python_impl callables
+    # and pointer constants, both of which must be shared, not copied.  The
+    # containing module is excluded so cloning one worker does not deep-copy
+    # every other function of the query.
+    memo: dict[int, object] = {}
+    if function.module is not None:
+        memo[id(function.module)] = None
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, CallInst):
+                memo[id(inst.callee)] = inst.callee
+            for operand in inst.operands:
+                if isinstance(operand, Constant) and operand.type.is_pointer:
+                    memo[id(operand.value)] = operand.value
+    return copy.deepcopy(function, memo)
+
+
+# --------------------------------------------------------------------------- #
+# shared emission helpers
+# --------------------------------------------------------------------------- #
+def _safe(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+class _Namer:
+    """Maps IR values to Python identifiers / literals inside generated code."""
+
+    def __init__(self):
+        self.namespace: dict[str, object] = {}
+        self._ptr_consts: dict[int, str] = {}
+        self._extern_names: dict[int, str] = {}
+
+    def constant(self, value: Constant) -> str:
+        if value.type.is_pointer:
+            name = self._ptr_consts.get(id(value.value))
+            if name is None:
+                name = f"_C{len(self._ptr_consts)}"
+                self._ptr_consts[id(value.value)] = name
+                self.namespace[name] = value.value
+            return name
+        if value.type.is_float:
+            return repr(float(value.value))
+        return repr(int(value.value))
+
+    def extern(self, extern: ExternFunction) -> str:
+        name = self._extern_names.get(id(extern))
+        if name is None:
+            if extern.python_impl is None:
+                raise BackendError(
+                    f"extern @{extern.name} has no runtime binding")
+            name = f"_E{len(self._extern_names)}_{_safe(extern.name)}"
+            self._extern_names[id(extern)] = name
+            self.namespace[name] = extern.python_impl
+        return name
+
+
+def _exec_namespace(namer: _Namer) -> dict:
+    namespace: dict[str, object] = {}
+    exec(compile(_PRELUDE, "<backend-prelude>", "exec"), namespace)
+    namespace.update(namer.namespace)
+    return namespace
+
+
+# --------------------------------------------------------------------------- #
+# unoptimized tier: per-block functions over a register file
+# --------------------------------------------------------------------------- #
+def _lower_blockwise(function: Function) -> tuple[str, dict]:
+    order = reverse_postorder(function)
+    allocation = allocate_registers(function)
+    scratch = allocation.num_registers
+    namer = _Namer()
+
+    block_index = {id(block): idx for idx, block in enumerate(order)}
+    lines: list[str] = []
+
+    def ref(value: Value) -> str:
+        if isinstance(value, Constant):
+            return namer.constant(value)
+        if isinstance(value, Undef):
+            return "0"
+        return f"R[{allocation.slot(value)}]"
+
+    def phi_copy_lines(pred, succ, indent: str) -> list[str]:
+        copies = []
+        for phi in succ.phis():
+            incoming = phi.incoming_for(pred)
+            if isinstance(incoming, Undef):
+                continue
+            dst = allocation.slot(phi)
+            src = ref(incoming)
+            if src != f"R[{dst}]":
+                copies.append((dst, src))
+        return _ordered_copy_lines(copies, indent, scratch,
+                                   lambda slot: f"R[{slot}]")
+
+    for idx, block in enumerate(order):
+        lines.append(f"def _block_{idx}(R):")
+        body: list[str] = []
+        instructions = block.instructions
+        for inst in instructions:
+            if isinstance(inst, PhiInst):
+                continue
+            if inst.is_terminator:
+                body.extend(_emit_terminator_blockwise(
+                    inst, block, block_index, phi_copy_lines, ref, "    "))
+            else:
+                body.extend(_emit_instruction(inst, ref, "    ",
+                                              lambda v: f"R[{allocation.slot(v)}]",
+                                              namer))
+        if not body:
+            body.append("    pass")
+        lines.extend(body)
+        lines.append("")
+
+    entry_name = f"_entry_{_safe(function.name)}"
+    arg_names = [f"a{i}" for i in range(len(function.args))]
+    lines.append(f"_BLOCKS = [{', '.join(f'_block_{i}' for i in range(len(order)))}]")
+    lines.append(f"def {entry_name}({', '.join(arg_names)}):")
+    lines.append(f"    R = [0] * {allocation.num_registers + 1}")
+    lines.append("    R[1] = 1")
+    for slot, value_name in _constant_pool_refs(function, allocation, namer):
+        lines.append(f"    R[{slot}] = {value_name}")
+    for arg, arg_name in zip(function.args, arg_names):
+        lines.append(f"    R[{allocation.slot(arg)}] = {arg_name}")
+    lines.append("    _blocks = _BLOCKS")
+    lines.append("    _bb = 0")
+    lines.append("    while True:")
+    lines.append("        _bb = _blocks[_bb](R)")
+    lines.append("        if _bb < 0:")
+    lines.append(f"            return R[{scratch}] if _bb == -2 else None")
+
+    return "\n".join(lines), _exec_namespace(namer)
+
+
+def _emit_terminator_blockwise(inst, block, block_index, phi_copy_lines, ref,
+                               indent: str) -> list[str]:
+    lines: list[str] = []
+    if isinstance(inst, BranchInst):
+        lines.extend(phi_copy_lines(block, inst.target, indent))
+        lines.append(f"{indent}return {block_index[id(inst.target)]}")
+        return lines
+    if isinstance(inst, CondBranchInst):
+        lines.append(f"{indent}if {ref(inst.condition)}:")
+        lines.extend(phi_copy_lines(block, inst.true_target, indent + "    "))
+        lines.append(f"{indent}    return {block_index[id(inst.true_target)]}")
+        lines.append(f"{indent}else:")
+        lines.extend(phi_copy_lines(block, inst.false_target, indent + "    "))
+        lines.append(f"{indent}    return {block_index[id(inst.false_target)]}")
+        return lines
+    if isinstance(inst, ReturnInst):
+        if inst.value is None:
+            lines.append(f"{indent}return -1")
+        else:
+            # The scratch slot transports the return value to the driver.
+            lines.append(f"{indent}R[-1] = {ref(inst.value)}")
+            lines.append(f"{indent}return -2")
+        return lines
+    if isinstance(inst, UnreachableInst):
+        lines.append(f"{indent}raise ExecutionError('unreachable code reached')")
+        return lines
+    raise BackendError(f"unsupported terminator {inst.opcode!r}")
+
+
+def _constant_pool_refs(function, allocation, namer):
+    """Yield ``(slot, python_expr)`` for every pooled constant."""
+    from ..vm.regalloc import constant_key
+
+    seen: set[int] = set()
+    for block in function.blocks:
+        for inst in block.instructions:
+            operands = (inst.value_operands()
+                        if not isinstance(inst, PhiInst)
+                        else [v for v, _ in inst.incoming])
+            for operand in operands:
+                if not isinstance(operand, Constant):
+                    continue
+                slot = allocation.constant_slot_of.get(constant_key(operand))
+                if slot is None or slot in seen:
+                    continue
+                seen.add(slot)
+                yield slot, namer.constant(operand)
+
+
+# --------------------------------------------------------------------------- #
+# optimized tier: one specialised function, SSA values become locals
+# --------------------------------------------------------------------------- #
+def _lower_whole_function(function: Function) -> tuple[str, dict]:
+    order = reverse_postorder(function)
+    namer = _Namer()
+    block_index = {id(block): idx for idx, block in enumerate(order)}
+
+    def local(value: Value) -> str:
+        return f"v{value.uid}"
+
+    def ref(value: Value) -> str:
+        if isinstance(value, Constant):
+            return namer.constant(value)
+        if isinstance(value, Undef):
+            return "0"
+        return local(value)
+
+    entry_name = f"_entry_{_safe(function.name)}"
+    arg_names = [f"a{i}" for i in range(len(function.args))]
+    lines = [f"def {entry_name}({', '.join(arg_names)}):"]
+    for arg, arg_name in zip(function.args, arg_names):
+        lines.append(f"    {local(arg)} = {arg_name}")
+    lines.append("    _bb = 0")
+    lines.append("    while True:")
+
+    def phi_copy_lines(pred, succ, indent: str) -> list[str]:
+        copies = []
+        for phi in succ.phis():
+            incoming = phi.incoming_for(pred)
+            if isinstance(incoming, Undef):
+                continue
+            dst = local(phi)
+            src = ref(incoming)
+            if src != dst:
+                copies.append((dst, src))
+        return _ordered_copy_lines(copies, indent, "_tmp", lambda n: n)
+
+    for idx, block in enumerate(order):
+        keyword = "if" if idx == 0 else "elif"
+        lines.append(f"        {keyword} _bb == {idx}:")
+        body: list[str] = []
+        indent = "            "
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                continue
+            if isinstance(inst, BranchInst):
+                body.extend(phi_copy_lines(block, inst.target, indent))
+                body.append(f"{indent}_bb = {block_index[id(inst.target)]}")
+                body.append(f"{indent}continue")
+            elif isinstance(inst, CondBranchInst):
+                body.append(f"{indent}if {ref(inst.condition)}:")
+                body.extend(phi_copy_lines(block, inst.true_target,
+                                           indent + "    "))
+                body.append(f"{indent}    _bb = "
+                            f"{block_index[id(inst.true_target)]}")
+                body.append(f"{indent}else:")
+                body.extend(phi_copy_lines(block, inst.false_target,
+                                           indent + "    "))
+                body.append(f"{indent}    _bb = "
+                            f"{block_index[id(inst.false_target)]}")
+                body.append(f"{indent}continue")
+            elif isinstance(inst, ReturnInst):
+                if inst.value is None:
+                    body.append(f"{indent}return None")
+                else:
+                    body.append(f"{indent}return {ref(inst.value)}")
+            elif isinstance(inst, UnreachableInst):
+                body.append(f"{indent}raise ExecutionError("
+                            f"'unreachable code reached')")
+            else:
+                body.extend(_emit_instruction(inst, ref, indent, local, namer))
+        if not body:
+            body.append(f"{indent}pass")
+        lines.extend(body)
+
+    return "\n".join(lines), _exec_namespace(namer)
+
+
+# --------------------------------------------------------------------------- #
+# straight-line instruction emission shared by both tiers
+# --------------------------------------------------------------------------- #
+def _emit_instruction(inst: Instruction, ref, indent: str, dst, namer: _Namer
+                      ) -> list[str]:
+    """Emit the Python statement(s) implementing one non-terminator inst."""
+    target = dst(inst) if inst.has_result else None
+
+    if isinstance(inst, BinaryInst):
+        lhs, rhs = ref(inst.lhs), ref(inst.rhs)
+        op = inst.opcode
+        simple = {"fadd": "+", "fsub": "-", "fmul": "*",
+                  "and": "&", "or": "|", "xor": "^"}
+        if op in ("add", "sub", "mul"):
+            sign = {"add": "+", "sub": "-", "mul": "*"}[op]
+            return [f"{indent}{target} = _wrap64({lhs} {sign} {rhs})"]
+        if op in simple:
+            return [f"{indent}{target} = {lhs} {simple[op]} {rhs}"]
+        if op == "sdiv":
+            return [f"{indent}{target} = _sdiv({lhs}, {rhs})"]
+        if op == "srem":
+            return [f"{indent}{target} = _srem({lhs}, {rhs})"]
+        if op == "fdiv":
+            return [f"{indent}{target} = _fdiv({lhs}, {rhs})"]
+        if op == "shl":
+            return [f"{indent}{target} = _wrap64({lhs} << ({rhs} & 63))"]
+        if op == "ashr":
+            return [f"{indent}{target} = {lhs} >> ({rhs} & 63)"]
+        if op in ("smin", "fmin"):
+            return [f"{indent}{target} = {lhs} if {lhs} < {rhs} else {rhs}"]
+        if op in ("smax", "fmax"):
+            return [f"{indent}{target} = {lhs} if {lhs} > {rhs} else {rhs}"]
+        raise BackendError(f"cannot lower binary opcode {op!r}")
+
+    if isinstance(inst, OverflowCheckInst):
+        lhs, rhs = ref(inst.lhs), ref(inst.rhs)
+        sign = {"add": "+", "sub": "-", "mul": "*"}[inst.checked_opcode]
+        return [f"{indent}{target} = 1 if not "
+                f"(_INT64_MIN <= {lhs} {sign} {rhs} <= _INT64_MAX) else 0"]
+
+    if isinstance(inst, CompareInst):
+        python_op = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+                     "gt": ">", "ge": ">="}[inst.predicate]
+        return [f"{indent}{target} = 1 if {ref(inst.lhs)} {python_op} "
+                f"{ref(inst.rhs)} else 0"]
+
+    if isinstance(inst, CastInst):
+        source = ref(inst.value)
+        if inst.opcode == "sitofp":
+            return [f"{indent}{target} = float({source})"]
+        if inst.opcode == "fptosi":
+            return [f"{indent}{target} = int({source})"]
+        if inst.opcode == "trunc":
+            bits = inst.type.bits
+            return [f"{indent}{target} = (({source}) & {(1 << bits) - 1})"
+                    if bits == 1 else
+                    f"{indent}{target} = ((({source}) & {(1 << bits) - 1}) - "
+                    f"{1 << bits} if (({source}) & {(1 << bits) - 1}) >= "
+                    f"{1 << (bits - 1)} else (({source}) & {(1 << bits) - 1}))"]
+        return [f"{indent}{target} = {source}"]
+
+    if isinstance(inst, SelectInst):
+        return [f"{indent}{target} = {ref(inst.then_value)} if "
+                f"{ref(inst.condition)} else {ref(inst.else_value)}"]
+
+    if isinstance(inst, GEPInst):
+        return [f"{indent}_p = {ref(inst.base)}",
+                f"{indent}{target} = (_p[0], _p[1] + {ref(inst.index)})"]
+
+    if isinstance(inst, LoadInst):
+        return [f"{indent}_p = {ref(inst.pointer)}",
+                f"{indent}{target} = _p[0][_p[1]]"]
+
+    if isinstance(inst, StoreInst):
+        return [f"{indent}_p = {ref(inst.pointer)}",
+                f"{indent}_p[0][_p[1]] = {ref(inst.value)}"]
+
+    if isinstance(inst, CallInst):
+        callee = inst.callee
+        if not isinstance(callee, ExternFunction):
+            raise BackendError(
+                "direct IR-to-IR calls are not supported by the backend")
+        args = ", ".join(ref(a) for a in inst.args)
+        call = f"{namer.extern(callee)}({args})"
+        if inst.has_result:
+            return [f"{indent}{target} = {call}"]
+        return [f"{indent}{call}"]
+
+    raise BackendError(f"cannot lower instruction {inst.opcode!r}")
+
+
+def _ordered_copy_lines(copies, indent: str, scratch, fmt) -> list[str]:
+    """Order parallel copies, breaking cycles through the scratch location.
+
+    ``copies`` is a list of ``(dst, src)`` where ``dst`` is a register slot or
+    local name (normalised through ``fmt``) and ``src`` is already a Python
+    expression.  A copy may only run once no other pending copy still reads
+    its destination; cycles are broken by stashing one destination in the
+    scratch location and redirecting its readers there.
+    """
+    def name_of(dst) -> str:
+        return dst if isinstance(dst, str) else fmt(dst)
+
+    lines: list[str] = []
+    pending = [(name_of(dst), src) for dst, src in copies]
+    scratch_name = name_of(scratch)
+    while pending:
+        progress = False
+        for index, (dst_name, src) in enumerate(pending):
+            if any(other_src == dst_name
+                   for j, (_, other_src) in enumerate(pending) if j != index):
+                continue
+            lines.append(f"{indent}{dst_name} = {src}")
+            pending.pop(index)
+            progress = True
+            break
+        if progress:
+            continue
+        dst_name, _ = pending[0]
+        lines.append(f"{indent}{scratch_name} = {dst_name}")
+        pending = [(d, scratch_name if s == dst_name else s)
+                   for d, s in pending]
+    return lines

@@ -1,0 +1,211 @@
+"""Compile-time and speedup estimation (paper Fig. 6 and Section III-C).
+
+The adaptive policy needs two estimates per execution tier *k*:
+
+* ``ctime_k(f)`` -- how long compiling worker function *f* will take, and
+* ``speedup_k(f)`` -- how much faster the compiled code will process tuples
+  than the bytecode interpreter.
+
+Like the paper, the compile-time estimate is a linear function of the number
+of IR instructions: Fig. 6 shows a near-linear relationship for all TPC-H and
+TPC-DS queries and the paper states both numbers are "determined empirically
+in our system".  The model here can be
+
+* used with shipped default coefficients (calibrated once on this
+  implementation's synthetic workload),
+* re-fitted from measurements with :meth:`CostModel.fit`, which the benchmark
+  harness does when regenerating Fig. 6, or
+* calibrated at engine start-up with :func:`calibrate_cost_model`, which
+  compiles a handful of synthetic worker functions and measures real times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import BackendError
+
+#: Execution tiers in increasing order of compile effort.
+TIERS = ("bytecode", "unoptimized", "optimized")
+
+
+@dataclass
+class TierEstimate:
+    """Linear compile-time model ``seconds = base + per_instruction * n``."""
+
+    base_seconds: float
+    per_instruction_seconds: float
+    speedup_over_bytecode: float
+
+    def compile_seconds(self, instruction_count: int) -> float:
+        return (self.base_seconds
+                + self.per_instruction_seconds * max(instruction_count, 0))
+
+
+#: Default coefficients.  These are deliberately conservative values measured
+#: on CPython 3.11 for this code base (they are re-calibrated by
+#: ``calibrate_cost_model`` when the engine is configured to do so); the
+#: *ratios* between tiers mirror the paper: bytecode translation is roughly
+#: an order of magnitude cheaper than unoptimized compilation, which is
+#: several times cheaper than optimized compilation.
+_DEFAULT_ESTIMATES = {
+    "bytecode": TierEstimate(base_seconds=0.0004,
+                             per_instruction_seconds=6.0e-6,
+                             speedup_over_bytecode=1.0),
+    "unoptimized": TierEstimate(base_seconds=0.0015,
+                                per_instruction_seconds=3.0e-5,
+                                speedup_over_bytecode=2.2),
+    "optimized": TierEstimate(base_seconds=0.004,
+                              per_instruction_seconds=1.2e-4,
+                              speedup_over_bytecode=3.5),
+}
+
+
+@dataclass
+class CostModel:
+    """Per-tier compile-time / speedup estimates used by the adaptive policy."""
+
+    estimates: dict[str, TierEstimate] = field(
+        default_factory=lambda: dict(_DEFAULT_ESTIMATES))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def compile_seconds(self, tier: str, instruction_count: int) -> float:
+        return self._tier(tier).compile_seconds(instruction_count)
+
+    def speedup(self, tier: str) -> float:
+        return self._tier(tier).speedup_over_bytecode
+
+    def _tier(self, tier: str) -> TierEstimate:
+        try:
+            return self.estimates[tier]
+        except KeyError as exc:
+            raise BackendError(f"unknown execution tier {tier!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, tier: str,
+            samples: Iterable[tuple[int, float]],
+            speedup: Optional[float] = None) -> TierEstimate:
+        """Fit the linear compile-time model from ``(instructions, seconds)``.
+
+        Uses an ordinary least-squares line; with fewer than two samples the
+        existing estimate is kept.  ``speedup`` optionally replaces the
+        tier's speedup factor.
+        """
+        points = list(samples)
+        current = self._tier(tier)
+        if len(points) >= 2:
+            xs = [float(n) for n, _ in points]
+            ys = [float(s) for _, s in points]
+            n = len(xs)
+            mean_x = sum(xs) / n
+            mean_y = sum(ys) / n
+            var_x = sum((x - mean_x) ** 2 for x in xs)
+            if var_x > 0:
+                slope = sum((x - mean_x) * (y - mean_y)
+                            for x, y in zip(xs, ys)) / var_x
+                intercept = mean_y - slope * mean_x
+                current = TierEstimate(
+                    base_seconds=max(intercept, 0.0),
+                    per_instruction_seconds=max(slope, 1e-9),
+                    speedup_over_bytecode=current.speedup_over_bytecode)
+        if speedup is not None:
+            current = TierEstimate(
+                base_seconds=current.base_seconds,
+                per_instruction_seconds=current.per_instruction_seconds,
+                speedup_over_bytecode=speedup)
+        self.estimates[tier] = current
+        return current
+
+
+_default_model: Optional[CostModel] = None
+
+
+def default_cost_model() -> CostModel:
+    """The process-wide cost model instance (lazily created)."""
+    global _default_model
+    if _default_model is None:
+        _default_model = CostModel()
+    return _default_model
+
+
+def calibrate_cost_model(model: Optional[CostModel] = None,
+                         sizes: tuple[int, ...] = (8, 32, 128),
+                         repeat: int = 1) -> CostModel:
+    """Measure real compile times on synthetic workers and refit the model.
+
+    Builds small arithmetic-heavy worker functions of increasing size,
+    compiles each with every tier and fits the per-tier linear model.  The
+    speedup factors are measured by timing a fixed tuple-processing loop in
+    each tier.
+    """
+    from ..ir.builder import IRBuilder
+    from ..ir.function import Function
+    from ..ir.types import i64, ptr
+    from ..vm import VirtualMachine, translate_function
+    from .compiler import compile_optimized, compile_unoptimized
+
+    model = model or default_cost_model()
+
+    def make_worker(n_ops: int) -> Function:
+        function = Function(f"calib_{n_ops}", [ptr, i64, i64],
+                            ["state", "begin", "end"])
+        builder = IRBuilder(function)
+        values = [0] * 64
+        buffer = (values, 0)
+        column = builder.const_ptr(buffer)
+        index, _, _, close = builder.count_loop(function.args[1],
+                                                function.args[2])
+        acc = index
+        for i in range(n_ops):
+            acc = builder.add(acc, builder.const_i64(i + 1))
+            acc = builder.mul(acc, builder.const_i64(3))
+            acc = builder.smax(acc, index)
+        pointer = builder.gep(column, builder.rem(acc, builder.const_i64(64)))
+        builder.store(index, pointer)
+        close()
+        builder.ret()
+        return function
+
+    samples = {tier: [] for tier in TIERS}
+    for size in sizes:
+        worker = make_worker(size)
+        count = worker.instruction_count()
+        for _ in range(repeat):
+            start = time.perf_counter()
+            translate_function(worker)
+            samples["bytecode"].append((count, time.perf_counter() - start))
+            unopt = compile_unoptimized(worker)
+            samples["unoptimized"].append((count, unopt.compile_seconds))
+            opt = compile_optimized(worker)
+            samples["optimized"].append((count, opt.compile_seconds))
+
+    # Speedups: run the largest worker over a fixed range in every tier.
+    worker = make_worker(sizes[-1])
+    bytecode, _ = translate_function(worker)
+    unopt = compile_unoptimized(worker)
+    opt = compile_optimized(worker)
+    vm = VirtualMachine()
+    rows = 2000
+
+    start = time.perf_counter()
+    vm.execute(bytecode, [None, 0, rows])
+    bytecode_seconds = max(time.perf_counter() - start, 1e-9)
+    start = time.perf_counter()
+    unopt(None, 0, rows)
+    unopt_seconds = max(time.perf_counter() - start, 1e-9)
+    start = time.perf_counter()
+    opt(None, 0, rows)
+    opt_seconds = max(time.perf_counter() - start, 1e-9)
+
+    model.fit("bytecode", samples["bytecode"], speedup=1.0)
+    model.fit("unoptimized", samples["unoptimized"],
+              speedup=max(bytecode_seconds / unopt_seconds, 1.0))
+    model.fit("optimized", samples["optimized"],
+              speedup=max(bytecode_seconds / opt_seconds, 1.0))
+    return model

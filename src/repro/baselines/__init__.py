@@ -1,0 +1,23 @@
+"""Baseline execution engines used for the Table I / Table II comparisons.
+
+* :class:`VolcanoEngine` -- tuple-at-a-time interpretation of the physical
+  plan (the PostgreSQL stand-in): every expression is evaluated by walking
+  the typed expression tree per tuple, which is exactly the interpretation
+  overhead compilation-based engines avoid.
+* :class:`VectorizedEngine` -- column-at-a-time execution over numpy arrays
+  (the MonetDB stand-in): no per-query compilation, full-column kernels with
+  materialised intermediates.
+
+Both engines execute the *same* physical plans and typed expressions as the
+compiled engine, so cross-engine result comparisons in the test suite check
+execution strategy, not semantics.
+"""
+
+from .expr_eval import evaluate_expression, evaluate_expression_vectorized
+from .volcano import VolcanoEngine
+from .vectorized import VectorizedEngine
+
+__all__ = [
+    "evaluate_expression", "evaluate_expression_vectorized",
+    "VolcanoEngine", "VectorizedEngine",
+]

@@ -1,0 +1,271 @@
+"""Column-at-a-time engine over numpy (the MonetDB stand-in).
+
+Every operator consumes and produces whole columns: filters become boolean
+masks, joins gather build-side payload columns through index arrays,
+aggregation uses ``np.unique``-based grouping.  Like MonetDB there is no
+per-query compilation; preparation cost is only planning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..catalog import Catalog
+from ..errors import ExecutionError
+from ..plan.physical import (
+    AggregateSink,
+    HashBuildSink,
+    IntermediateSource,
+    OutputSink,
+    PhysFilter,
+    PhysHashProbe,
+    Pipeline,
+    PhysicalPlan,
+    TableSource,
+)
+from ..types import SQLType
+from .expr_eval import evaluate_expression_vectorized
+from .volcano import _finish_output
+
+
+class VectorizedEngine:
+    """Column-at-a-time execution of pipeline plans."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: PhysicalPlan) -> list[tuple]:
+        hash_tables: dict[int, tuple[dict, list[np.ndarray], list]] = {}
+        intermediates: dict[str, tuple[dict, int]] = {}
+        output_rows: list[tuple] = []
+        output_sink: Optional[OutputSink] = None
+
+        for pipeline in plan.pipelines:
+            columns, num_rows = self._run_pipeline_body(pipeline, hash_tables,
+                                                        intermediates)
+            sink = pipeline.sink
+            if isinstance(sink, HashBuildSink):
+                hash_tables[sink.join_id] = self._build_hash_table(
+                    sink, columns, num_rows)
+            elif isinstance(sink, AggregateSink):
+                intermediates[sink.intermediate.binding] = self._aggregate(
+                    sink, columns, num_rows)
+            elif isinstance(sink, OutputSink):
+                output_sink = sink
+                self._emit_output(sink, columns, num_rows, output_rows)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown sink {type(sink).__name__}")
+
+        if output_sink is None:
+            raise ExecutionError("plan has no output pipeline")
+        return _finish_output(output_rows, output_sink)
+
+    # ------------------------------------------------------------------ #
+    # pipeline body: source columns + filters + probes
+    # ------------------------------------------------------------------ #
+    def _run_pipeline_body(self, pipeline: Pipeline, hash_tables,
+                           intermediates):
+        columns, num_rows = self._source_columns(pipeline, intermediates)
+
+        for operator in pipeline.operators:
+            if num_rows == 0:
+                break
+            if isinstance(operator, PhysFilter):
+                mask = np.asarray(evaluate_expression_vectorized(
+                    operator.predicate, columns, num_rows), dtype=bool)
+                columns = {key: values[mask]
+                           for key, values in columns.items()}
+                num_rows = int(mask.sum())
+            elif isinstance(operator, PhysHashProbe):
+                columns, num_rows = self._probe(operator, columns, num_rows,
+                                                hash_tables)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(
+                    f"unknown operator {type(operator).__name__}")
+        return columns, num_rows
+
+    def _source_columns(self, pipeline: Pipeline, intermediates):
+        source = pipeline.source
+        if isinstance(source, TableSource):
+            table = source.table
+            binding = source.binding
+            columns = {(binding, name): table.numpy_column(name)
+                       for name in table.schema.column_names()}
+            return columns, table.num_rows
+        assert isinstance(source, IntermediateSource)
+        stored = intermediates.get(source.binding)
+        if stored is None:
+            return {}, 0
+        return stored
+
+    # ------------------------------------------------------------------ #
+    def _probe(self, operator: PhysHashProbe, columns, num_rows, hash_tables):
+        key_to_rows, payload_arrays, payload_columns = \
+            hash_tables[operator.join_id]
+
+        key_vectors = [np.asarray(evaluate_expression_vectorized(
+            key, columns, num_rows)) for key in operator.probe_keys]
+
+        probe_indices: list[int] = []
+        build_indices: list[int] = []
+        if len(key_vectors) == 1:
+            keys = key_vectors[0]
+            for probe_index in range(num_rows):
+                matches = key_to_rows.get(keys[probe_index])
+                if matches is not None:
+                    probe_indices.extend([probe_index] * len(matches))
+                    build_indices.extend(matches)
+        else:
+            for probe_index in range(num_rows):
+                key = tuple(vector[probe_index] for vector in key_vectors)
+                matches = key_to_rows.get(key)
+                if matches is not None:
+                    probe_indices.extend([probe_index] * len(matches))
+                    build_indices.extend(matches)
+
+        probe_idx = np.asarray(probe_indices, dtype=np.int64)
+        build_idx = np.asarray(build_indices, dtype=np.int64)
+
+        joined = {key: values[probe_idx] if len(probe_idx) else values[:0]
+                  for key, values in columns.items()}
+        for column, array in zip(payload_columns, payload_arrays):
+            joined[(column.binding, column.column)] = (
+                array[build_idx] if len(build_idx) else array[:0])
+        num_rows = len(probe_idx)
+
+        for residual in operator.residual:
+            if num_rows == 0:
+                break
+            mask = np.asarray(evaluate_expression_vectorized(
+                residual, joined, num_rows), dtype=bool)
+            joined = {key: values[mask] for key, values in joined.items()}
+            num_rows = int(mask.sum())
+        return joined, num_rows
+
+    def _build_hash_table(self, sink: HashBuildSink, columns, num_rows):
+        if num_rows == 0:
+            empty = [np.asarray([])[:0] for _ in sink.payload_columns]
+            return {}, empty, list(sink.payload_columns)
+        key_vectors = [np.asarray(evaluate_expression_vectorized(
+            key, columns, num_rows)) for key in sink.build_keys]
+        payload_arrays = []
+        for column in sink.payload_columns:
+            values = columns[(column.binding, column.column)]
+            payload_arrays.append(np.asarray(values))
+
+        key_to_rows: dict = {}
+        if len(key_vectors) == 1:
+            keys = key_vectors[0]
+            for row in range(num_rows):
+                key_to_rows.setdefault(keys[row], []).append(row)
+        else:
+            for row in range(num_rows):
+                key = tuple(vector[row] for vector in key_vectors)
+                key_to_rows.setdefault(key, []).append(row)
+        return key_to_rows, payload_arrays, list(sink.payload_columns)
+
+    # ------------------------------------------------------------------ #
+    def _aggregate(self, sink: AggregateSink, columns, num_rows):
+        binding = sink.intermediate.binding
+        result_columns: dict = {}
+
+        if num_rows == 0:
+            if not sink.group_by:
+                for index, spec in enumerate(sink.aggregates):
+                    value = 0 if spec.result_type is SQLType.INT64 else 0.0
+                    result_columns[(binding, f"a{index}")] = np.asarray([value])
+                return result_columns, 1
+            for index in range(len(sink.group_by)):
+                result_columns[(binding, f"k{index}")] = np.asarray([])[:0]
+            for index in range(len(sink.aggregates)):
+                result_columns[(binding, f"a{index}")] = np.asarray([])[:0]
+            return result_columns, 0
+
+        group_vectors = [np.asarray(evaluate_expression_vectorized(
+            expr, columns, num_rows)) for expr in sink.group_by]
+        argument_vectors = []
+        for spec in sink.aggregates:
+            if spec.argument is None:
+                argument_vectors.append(None)
+            else:
+                argument_vectors.append(np.asarray(
+                    evaluate_expression_vectorized(spec.argument, columns,
+                                                   num_rows)))
+
+        if sink.group_by:
+            # Group via np.unique over a structured key.
+            if len(group_vectors) == 1:
+                unique_keys, inverse = np.unique(group_vectors[0],
+                                                 return_inverse=True)
+                key_columns = [unique_keys]
+            else:
+                stacked = np.empty(num_rows, dtype=object)
+                for row in range(num_rows):
+                    stacked[row] = tuple(v[row] for v in group_vectors)
+                unique_keys, inverse = np.unique(stacked, return_inverse=True)
+                key_columns = []
+                for position in range(len(group_vectors)):
+                    key_columns.append(np.asarray(
+                        [key[position] for key in unique_keys], dtype=object))
+            num_groups = len(unique_keys)
+        else:
+            inverse = np.zeros(num_rows, dtype=np.int64)
+            key_columns = []
+            num_groups = 1
+
+        for index, key_column in enumerate(key_columns):
+            result_columns[(binding, f"k{index}")] = key_column
+
+        for index, spec in enumerate(sink.aggregates):
+            argument = argument_vectors[index]
+            if spec.function == "count":
+                values = np.bincount(inverse, minlength=num_groups)
+            elif spec.function == "sum":
+                values = np.bincount(inverse,
+                                     weights=np.asarray(argument,
+                                                        dtype=np.float64),
+                                     minlength=num_groups)
+                if spec.result_type is SQLType.INT64:
+                    values = values.astype(np.int64)
+            elif spec.function == "avg":
+                sums = np.bincount(inverse,
+                                   weights=np.asarray(argument,
+                                                      dtype=np.float64),
+                                   minlength=num_groups)
+                counts = np.bincount(inverse, minlength=num_groups)
+                values = np.divide(sums, np.maximum(counts, 1))
+            elif spec.function in ("min", "max"):
+                values = np.empty(num_groups, dtype=object)
+                reducer = min if spec.function == "min" else max
+                for group in range(num_groups):
+                    members = argument[inverse == group]
+                    values[group] = reducer(members) if len(members) else 0
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown aggregate {spec.function!r}")
+            result_columns[(binding, f"a{index}")] = np.asarray(values)
+
+        return result_columns, num_groups
+
+    # ------------------------------------------------------------------ #
+    def _emit_output(self, sink: OutputSink, columns, num_rows, output_rows):
+        if num_rows == 0:
+            return
+        vectors = [np.asarray(evaluate_expression_vectorized(expr, columns,
+                                                             num_rows))
+                   for _, expr in sink.output]
+        vectors += [np.asarray(evaluate_expression_vectorized(expr, columns,
+                                                              num_rows))
+                    for expr, _ in sink.order_by]
+        for row in range(num_rows):
+            output_rows.append(tuple(_to_python(vector[row])
+                                     for vector in vectors))
+
+
+def _to_python(value):
+    """Convert numpy scalars to plain Python values for result comparison."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

@@ -1,0 +1,229 @@
+"""Volcano-style tuple-at-a-time engine (the PostgreSQL stand-in).
+
+Executes the same physical pipeline plans as the compiled engine, but every
+tuple flows through interpreted operator logic and every expression is
+re-interpreted per tuple by walking the typed expression tree.  There is no
+code generation and no compilation step, which is exactly the baseline
+trade-off Table I / Table II of the paper illustrate: zero preparation cost,
+high per-tuple overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..catalog import Catalog
+from ..errors import ExecutionError
+from ..plan.physical import (
+    AggregateSink,
+    HashBuildSink,
+    IntermediateSource,
+    OutputSink,
+    PhysFilter,
+    PhysHashProbe,
+    Pipeline,
+    PhysicalPlan,
+    TableSource,
+)
+from ..types import SQLType
+from .expr_eval import evaluate_expression
+
+
+class VolcanoEngine:
+    """Tuple-at-a-time interpretation of pipeline plans."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: PhysicalPlan) -> list[tuple]:
+        hash_tables: dict[int, dict] = {}
+        intermediates: dict[str, list[dict]] = {}
+        output_rows: list[tuple] = []
+        output_sink: Optional[OutputSink] = None
+
+        for pipeline in plan.pipelines:
+            sink = pipeline.sink
+            if isinstance(sink, HashBuildSink):
+                self._run_build(pipeline, sink, hash_tables, intermediates)
+            elif isinstance(sink, AggregateSink):
+                self._run_aggregate(pipeline, sink, hash_tables, intermediates)
+            elif isinstance(sink, OutputSink):
+                output_sink = sink
+                self._run_output(pipeline, sink, hash_tables, intermediates,
+                                 output_rows)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown sink {type(sink).__name__}")
+
+        if output_sink is None:
+            raise ExecutionError("plan has no output pipeline")
+        return _finish_output(output_rows, output_sink)
+
+    # ------------------------------------------------------------------ #
+    # row iteration
+    # ------------------------------------------------------------------ #
+    def _source_rows(self, pipeline: Pipeline,
+                     intermediates: dict) -> Iterator[dict]:
+        source = pipeline.source
+        if isinstance(source, TableSource):
+            table = source.table
+            binding = source.binding
+            names = table.schema.column_names()
+            columns = [table.column_data(name) for name in names]
+            keys = [(binding, name) for name in names]
+            for index in range(table.num_rows):
+                yield {key: column[index]
+                       for key, column in zip(keys, columns)}
+            return
+        assert isinstance(source, IntermediateSource)
+        for row in intermediates.get(source.binding, []):
+            yield row
+
+    def _apply_operators(self, pipeline: Pipeline, row: dict,
+                         hash_tables: dict) -> Iterator[dict]:
+        """Push one source row through the pipeline's streaming operators."""
+        rows = [row]
+        for operator in pipeline.operators:
+            if isinstance(operator, PhysFilter):
+                rows = [r for r in rows
+                        if evaluate_expression(operator.predicate, r)]
+            elif isinstance(operator, PhysHashProbe):
+                joined: list[dict] = []
+                table = hash_tables[operator.join_id]
+                for current in rows:
+                    key_values = tuple(evaluate_expression(k, current)
+                                       for k in operator.probe_keys)
+                    key = key_values[0] if len(key_values) == 1 else key_values
+                    for payload in table.get(key, ()):  # inner join
+                        combined = dict(current)
+                        for column, value in zip(operator.payload_columns,
+                                                 payload):
+                            combined[(column.binding, column.column)] = value
+                        if all(evaluate_expression(p, combined)
+                               for p in operator.residual):
+                            joined.append(combined)
+                rows = joined
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(
+                    f"unknown operator {type(operator).__name__}")
+            if not rows:
+                return
+        yield from rows
+
+    # ------------------------------------------------------------------ #
+    # sinks
+    # ------------------------------------------------------------------ #
+    def _run_build(self, pipeline: Pipeline, sink: HashBuildSink,
+                   hash_tables: dict, intermediates: dict) -> None:
+        table: dict = {}
+        for source_row in self._source_rows(pipeline, intermediates):
+            for row in self._apply_operators(pipeline, source_row,
+                                             hash_tables):
+                key_values = tuple(evaluate_expression(k, row)
+                                   for k in sink.build_keys)
+                key = key_values[0] if len(key_values) == 1 else key_values
+                payload = tuple(row[(c.binding, c.column)]
+                                for c in sink.payload_columns)
+                table.setdefault(key, []).append(payload)
+        hash_tables[sink.join_id] = table
+
+    def _run_aggregate(self, pipeline: Pipeline, sink: AggregateSink,
+                       hash_tables: dict, intermediates: dict) -> None:
+        groups: dict = {}
+        for source_row in self._source_rows(pipeline, intermediates):
+            for row in self._apply_operators(pipeline, source_row,
+                                             hash_tables):
+                key = tuple(evaluate_expression(g, row)
+                            for g in sink.group_by)
+                cells = groups.get(key)
+                if cells is None:
+                    cells = groups[key] = [_initial_cell(s)
+                                           for s in sink.aggregates]
+                for index, spec in enumerate(sink.aggregates):
+                    if spec.function == "count":
+                        cells[index] += 1
+                        continue
+                    value = evaluate_expression(spec.argument, row)
+                    if spec.function == "sum":
+                        cells[index] += value
+                    elif spec.function == "avg":
+                        cells[index][0] += value
+                        cells[index][1] += 1
+                    elif spec.function == "min":
+                        if cells[index] is None or value < cells[index]:
+                            cells[index] = value
+                    elif spec.function == "max":
+                        if cells[index] is None or value > cells[index]:
+                            cells[index] = value
+
+        if not groups and not sink.group_by:
+            groups[()] = [_empty_cell(s) for s in sink.aggregates]
+
+        rows: list[dict] = []
+        binding = sink.intermediate.binding
+        for key, cells in groups.items():
+            row = {}
+            for index in range(len(sink.group_by)):
+                row[(binding, f"k{index}")] = key[index]
+            for index, spec in enumerate(sink.aggregates):
+                value = cells[index]
+                if spec.function == "avg":
+                    value = value[0] / value[1] if value[1] else 0.0
+                elif spec.function in ("min", "max") and value is None:
+                    value = 0
+                row[(binding, f"a{index}")] = value
+            rows.append(row)
+        intermediates[binding] = rows
+
+    def _run_output(self, pipeline: Pipeline, sink: OutputSink,
+                    hash_tables: dict, intermediates: dict,
+                    output_rows: list) -> None:
+        for source_row in self._source_rows(pipeline, intermediates):
+            for row in self._apply_operators(pipeline, source_row,
+                                             hash_tables):
+                values = [evaluate_expression(expr, row)
+                          for _, expr in sink.output]
+                keys = [evaluate_expression(expr, row)
+                        for expr, _ in sink.order_by]
+                output_rows.append(tuple(values + keys))
+
+
+# --------------------------------------------------------------------------- #
+def _initial_cell(spec):
+    if spec.function == "count":
+        return 0
+    if spec.function == "avg":
+        return [0.0, 0]
+    if spec.function in ("min", "max"):
+        return None
+    return 0 if spec.result_type is SQLType.INT64 else 0.0
+
+
+def _empty_cell(spec):
+    if spec.function == "count":
+        return 0
+    if spec.function == "avg":
+        return [0.0, 0]
+    if spec.function in ("min", "max"):
+        return None
+    return 0 if spec.result_type is SQLType.INT64 else 0.0
+
+
+def _finish_output(rows: list[tuple], sink: OutputSink) -> list[tuple]:
+    """Apply DISTINCT / ORDER BY / LIMIT and strip the sort-key columns."""
+    width = len(sink.output)
+    if sink.distinct:
+        seen = set()
+        unique = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        rows = unique
+    if sink.order_by:
+        for offset in range(len(sink.order_by) - 1, -1, -1):
+            _, ascending = sink.order_by[offset]
+            rows.sort(key=lambda r: r[width + offset], reverse=not ascending)
+    if sink.limit is not None:
+        rows = rows[:sink.limit]
+    return [row[:width] for row in rows]

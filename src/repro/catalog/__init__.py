@@ -1,0 +1,11 @@
+"""Catalog and columnar storage."""
+
+from .schema import Column, TableSchema
+from .table import Table
+from .catalog import Catalog
+from .statistics import ColumnStatistics, TableStatistics
+
+__all__ = [
+    "Column", "TableSchema", "Table", "Catalog",
+    "ColumnStatistics", "TableStatistics",
+]

@@ -1,0 +1,82 @@
+"""The catalog: a named collection of tables plus their statistics."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..errors import CatalogError
+from ..types import SQLType
+from .schema import TableSchema
+from .statistics import TableStatistics, compute_table_statistics
+from .table import Table
+
+
+class Catalog:
+    """Holds every table of a database instance."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._statistics: dict[str, TableStatistics] = {}
+
+    # ------------------------------------------------------------------ #
+    # DDL
+    # ------------------------------------------------------------------ #
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, SQLType]]) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(TableSchema.of(name, columns))
+        self._tables[key] = table
+        return table
+
+    def register_table(self, table: Table) -> Table:
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        self._statistics.pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"table {name!r} does not exist") from exc
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def statistics(self, name: str, refresh: bool = False) -> TableStatistics:
+        key = name.lower()
+        table = self.table(name)
+        cached = self._statistics.get(key)
+        if cached is not None and not refresh and cached.num_rows == table.num_rows:
+            return cached
+        stats = compute_table_statistics(table)
+        self._statistics[key] = stats
+        return stats
+
+    def invalidate_statistics(self, name: Optional[str] = None) -> None:
+        if name is None:
+            self._statistics.clear()
+        else:
+            self._statistics.pop(name.lower(), None)

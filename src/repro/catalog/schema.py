@@ -1,0 +1,76 @@
+"""Table schemas: ordered, typed column definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import CatalogError
+from ..types import SQLType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    sql_type: SQLType
+
+    def __post_init__(self):
+        if not self.name:
+            raise CatalogError("column name must not be empty")
+
+
+@dataclass
+class TableSchema:
+    """An ordered list of column definitions with name lookup."""
+
+    table_name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen: set[str] = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table "
+                    f"{self.table_name!r}")
+            seen.add(lowered)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def of(cls, table_name: str,
+           columns: Sequence[tuple[str, SQLType]]) -> "TableSchema":
+        """Convenience constructor from ``[(name, type), ...]`` pairs."""
+        return cls(table_name, [Column(name, sql_type)
+                                for name, sql_type in columns])
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(column.name.lower() == lowered for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        lowered = name.lower()
+        for column in self.columns:
+            if column.name.lower() == lowered:
+                return column
+        raise CatalogError(
+            f"table {self.table_name!r} has no column {name!r}")
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for index, column in enumerate(self.columns):
+            if column.name.lower() == lowered:
+                return index
+        raise CatalogError(
+            f"table {self.table_name!r} has no column {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)

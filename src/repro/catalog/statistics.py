@@ -1,0 +1,79 @@
+"""Simple table/column statistics for the cardinality estimator.
+
+The paper's point is precisely that optimizer estimates are unreliable, so
+the adaptive framework does not depend on them; the statistics here exist to
+drive join ordering and to let the experiments contrast estimate-driven
+up-front decisions with runtime-feedback decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import SQLType
+from .table import Table
+
+
+@dataclass
+class ColumnStatistics:
+    """Per-column summary statistics."""
+
+    name: str
+    sql_type: SQLType
+    num_values: int
+    num_distinct: int
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+
+    @property
+    def selectivity_of_equality(self) -> float:
+        """Estimated selectivity of ``column = constant``."""
+        if self.num_distinct <= 0:
+            return 1.0
+        return 1.0 / self.num_distinct
+
+
+@dataclass
+class TableStatistics:
+    """Statistics over a whole table."""
+
+    table_name: str
+    num_rows: int
+    columns: dict[str, ColumnStatistics]
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        return self.columns.get(name.lower())
+
+
+def compute_table_statistics(table: Table,
+                             sample_limit: int = 50_000) -> TableStatistics:
+    """Compute statistics, sampling long columns to keep analysis cheap."""
+    columns: dict[str, ColumnStatistics] = {}
+    num_rows = table.num_rows
+    for column in table.schema.columns:
+        data = table.column_data(column.name)
+        if num_rows > sample_limit:
+            step = max(num_rows // sample_limit, 1)
+            sample = data[::step]
+        else:
+            sample = data
+        if sample:
+            distinct = len(set(sample))
+            if num_rows > len(sample):
+                # Scale the distinct-count estimate linearly, capped by rows.
+                distinct = min(int(distinct * num_rows / len(sample)), num_rows)
+            min_value = min(sample)
+            max_value = max(sample)
+        else:
+            distinct, min_value, max_value = 0, None, None
+        columns[column.name.lower()] = ColumnStatistics(
+            name=column.name,
+            sql_type=column.sql_type,
+            num_values=num_rows,
+            num_distinct=distinct,
+            min_value=min_value,
+            max_value=max_value,
+        )
+    return TableStatistics(table_name=table.name, num_rows=num_rows,
+                           columns=columns)

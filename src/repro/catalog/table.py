@@ -1,0 +1,125 @@
+"""Columnar tables.
+
+Storage is column-major: every column is a plain Python list whose elements
+are already in the engine's internal representation (ints for INT64 / DECIMAL
+/ DATE / BOOL, floats for FLOAT64, ``str`` for STRING).  Generated query code
+reads columns directly through ``(buffer, offset)`` pointers, so no per-tuple
+conversion happens on the hot path.  The vectorized baseline caches numpy
+views of numeric columns on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CatalogError
+from ..types import SQLType, decode_internal_value, encode_python_value
+from .schema import Column, TableSchema
+
+
+class Table:
+    """A named, columnar table."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.name = schema.table_name
+        self.columns: dict[str, list] = {column.name: []
+                                         for column in schema.columns}
+        self._numpy_cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # loading data
+    # ------------------------------------------------------------------ #
+    def insert_rows(self, rows: Iterable[Sequence], encode: bool = True) -> int:
+        """Append rows (sequences in schema column order).
+
+        ``encode=True`` converts user-level Python values (dates, floats for
+        decimals) to the internal representation; generators that already
+        produce internal values can pass ``encode=False`` to skip that work.
+        """
+        count = 0
+        column_lists = [self.columns[column.name]
+                        for column in self.schema.columns]
+        types = [column.sql_type for column in self.schema.columns]
+        width = len(column_lists)
+        for row in rows:
+            if len(row) != width:
+                raise CatalogError(
+                    f"row width {len(row)} does not match table "
+                    f"{self.name!r} ({width} columns)")
+            if encode:
+                for target, sql_type, value in zip(column_lists, types, row):
+                    target.append(encode_python_value(value, sql_type))
+            else:
+                for target, value in zip(column_lists, row):
+                    target.append(value)
+            count += 1
+        self._numpy_cache.clear()
+        return count
+
+    def append_columns(self, columns: dict[str, list]) -> None:
+        """Bulk-append pre-encoded column data (used by the data generators)."""
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise CatalogError("column lengths differ in bulk append")
+        expected = set(self.columns.keys())
+        if set(columns.keys()) != expected:
+            raise CatalogError(
+                f"bulk append must provide exactly the columns {sorted(expected)}")
+        for name, values in columns.items():
+            self.columns[name].extend(values)
+        self._numpy_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        if not self.schema.columns:
+            return 0
+        first = self.schema.columns[0].name
+        return len(self.columns[first])
+
+    def column_data(self, name: str) -> list:
+        try:
+            return self.columns[self.schema.column(name).name]
+        except KeyError as exc:  # pragma: no cover - schema.column raises first
+            raise CatalogError(f"unknown column {name!r}") from exc
+
+    def column_type(self, name: str) -> SQLType:
+        return self.schema.column(name).sql_type
+
+    def numpy_column(self, name: str) -> np.ndarray:
+        """A cached numpy view of a column (used by the vectorized baseline)."""
+        cached = self._numpy_cache.get(name)
+        if cached is not None and len(cached) == self.num_rows:
+            return cached
+        data = self.column_data(name)
+        sql_type = self.column_type(name)
+        if sql_type is SQLType.FLOAT64:
+            array = np.asarray(data, dtype=np.float64)
+        elif sql_type is SQLType.STRING:
+            array = np.asarray(data, dtype=object)
+        else:
+            array = np.asarray(data, dtype=np.int64)
+        self._numpy_cache[name] = array
+        return array
+
+    def row(self, index: int, decode: bool = False) -> tuple:
+        """Materialise one row (mainly for tests and debugging)."""
+        values = []
+        for column in self.schema.columns:
+            value = self.columns[column.name][index]
+            if decode:
+                value = decode_internal_value(value, column.sql_type)
+            values.append(value)
+        return tuple(values)
+
+    def rows(self, decode: bool = False):
+        for index in range(self.num_rows):
+            yield self.row(index, decode=decode)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Table {self.name}: {self.num_rows} rows, {len(self.schema)} cols>"

@@ -1,0 +1,9 @@
+"""Data-centric code generation: pipeline plans -> IR worker functions."""
+
+from .runtime import QueryState, QueryRuntime
+from .generator import CodeGenerator, GeneratedQuery, GeneratedPipeline
+
+__all__ = [
+    "QueryState", "QueryRuntime",
+    "CodeGenerator", "GeneratedQuery", "GeneratedPipeline",
+]

@@ -1,0 +1,250 @@
+"""Compilation of typed SQL expressions into IR."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import CodegenError
+from ..ir.builder import IRBuilder
+from ..ir.function import ExternFunction
+from ..ir.types import IRType, f64, i1, i64, ptr, void
+from ..ir.values import Constant, Value
+from ..semantics.expressions import (
+    AggregateExpr,
+    ArithmeticExpr,
+    BetweenExpr,
+    CaseExpr,
+    CastExpr,
+    ColumnExpr,
+    ComparisonExpr,
+    ExtractExpr,
+    InListExpr,
+    LikeExpr,
+    LiteralExpr,
+    LogicalExpr,
+    NotExpr,
+    TypedExpression,
+    like_to_predicate,
+)
+from ..types import SQLType
+from .runtime import QueryRuntime
+
+#: SQL type -> IR type for values flowing through generated code.
+def ir_type_of(sql_type: SQLType) -> IRType:
+    if sql_type is SQLType.FLOAT64:
+        return f64
+    if sql_type is SQLType.STRING:
+        return ptr
+    if sql_type is SQLType.BOOL:
+        return i1
+    return i64
+
+
+_COMPARE_PREDICATE = {"=": "eq", "<>": "ne", "<": "lt", "<=": "le",
+                      ">": "gt", ">=": "ge"}
+
+
+class ExpressionCompiler:
+    """Emits IR for typed expressions within one worker function.
+
+    ``column_resolver`` maps a :class:`ColumnExpr` to an IR value for the
+    current row (a column load for the pipeline source, a payload getter call
+    for probed hash tables).  The compiler caches nothing itself; callers may
+    cache resolved columns per row because generated control flow always
+    nests downstream operators inside blocks dominated by earlier ones.
+    """
+
+    def __init__(self, builder: IRBuilder, error_block,
+                 column_resolver: Callable[[ColumnExpr], Value],
+                 extern_cache: dict):
+        self.builder = builder
+        self.error_block = error_block
+        self.column_resolver = column_resolver
+        self._externs = extern_cache
+
+    # ------------------------------------------------------------------ #
+    def compile(self, expr: TypedExpression) -> Value:
+        b = self.builder
+
+        if isinstance(expr, LiteralExpr):
+            return self._literal(expr)
+        if isinstance(expr, ColumnExpr):
+            return self.column_resolver(expr)
+        if isinstance(expr, CastExpr):
+            value = self.compile(expr.operand)
+            if expr.result_type is SQLType.FLOAT64 and value.type is i64:
+                return b.sitofp(value)
+            if expr.result_type in (SQLType.INT64, SQLType.DATE) \
+                    and value.type is f64:
+                return b.fptosi(value)
+            return value
+        if isinstance(expr, ArithmeticExpr):
+            return self._arithmetic(expr)
+        if isinstance(expr, ComparisonExpr):
+            left = self.compile(expr.left)
+            right = self.compile(expr.right)
+            left, right = self._unify(left, right)
+            return b.cmp(_COMPARE_PREDICATE[expr.operator], left, right)
+        if isinstance(expr, LogicalExpr):
+            values = [self.compile(op) for op in expr.operands]
+            result = values[0]
+            for value in values[1:]:
+                result = (b.and_(result, value) if expr.operator == "and"
+                          else b.or_(result, value))
+            return result
+        if isinstance(expr, NotExpr):
+            value = self.compile(expr.operand)
+            return b.binary("xor", value, Constant(i1, 1))
+        if isinstance(expr, BetweenExpr):
+            value = self.compile(expr.expr)
+            low = self.compile(expr.low)
+            high = self.compile(expr.high)
+            value_low, low = self._unify(value, low)
+            value_high, high = self._unify(value, high)
+            lower = b.cmp("ge", value_low, low)
+            upper = b.cmp("le", value_high, high)
+            result = b.and_(lower, upper)
+            if expr.negated:
+                result = b.binary("xor", result, Constant(i1, 1))
+            return result
+        if isinstance(expr, InListExpr):
+            value = self.compile(expr.expr)
+            result: Optional[Value] = None
+            for candidate in expr.values:
+                candidate_value = self.compile(candidate)
+                left, right = self._unify(value, candidate_value)
+                equal = b.cmp("eq", left, right)
+                result = equal if result is None else b.or_(result, equal)
+            if result is None:
+                result = Constant(i1, 0)
+            if expr.negated:
+                result = b.binary("xor", result, Constant(i1, 1))
+            return result
+        if isinstance(expr, LikeExpr):
+            value = self.compile(expr.expr)
+            extern = self._like_extern(expr.pattern)
+            result = b.call(extern, [value])
+            if expr.negated:
+                result = b.binary("xor", result, Constant(i1, 1))
+            return result
+        if isinstance(expr, CaseExpr):
+            return self._case(expr)
+        if isinstance(expr, ExtractExpr):
+            value = self.compile(expr.operand)
+            extern = self._extract_extern(expr.field_name)
+            return b.call(extern, [value])
+        if isinstance(expr, AggregateExpr):
+            raise CodegenError(
+                "aggregate expressions must be rewritten before code "
+                "generation (planner bug)")
+        raise CodegenError(
+            f"cannot generate code for expression {type(expr).__name__}")
+
+    # ------------------------------------------------------------------ #
+    def _literal(self, expr: LiteralExpr) -> Constant:
+        if expr.result_type is SQLType.FLOAT64:
+            return Constant(f64, float(expr.value))
+        if expr.result_type is SQLType.STRING:
+            return Constant(ptr, expr.value)
+        if expr.result_type is SQLType.BOOL:
+            return Constant(i1, 1 if expr.value else 0)
+        return Constant(i64, int(expr.value))
+
+    def _arithmetic(self, expr: ArithmeticExpr) -> Value:
+        b = self.builder
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        left, right = self._unify(left, right)
+        operator = expr.operator
+        if left.type is f64:
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul",
+                      "/": "fdiv", "%": None}.get(operator)
+            if opcode is None:
+                raise CodegenError("modulo on floating point is unsupported")
+            return b.binary(opcode, left, right)
+        # Integer arithmetic is overflow-checked, mirroring the paper's
+        # generated code (Section IV-F).
+        if operator == "+":
+            return b.checked_add(left, right, self.error_block)
+        if operator == "-":
+            return b.checked_sub(left, right, self.error_block)
+        if operator == "*":
+            return b.checked_mul(left, right, self.error_block)
+        if operator == "/":
+            return b.binary("sdiv", left, right)
+        if operator == "%":
+            return b.binary("srem", left, right)
+        raise CodegenError(f"unknown arithmetic operator {operator!r}")
+
+    def _unify(self, left: Value, right: Value) -> tuple[Value, Value]:
+        """Insert int->float conversions when operand IR types differ."""
+        if left.type is right.type:
+            return left, right
+        b = self.builder
+        if left.type is f64 and right.type is i64:
+            return left, b.sitofp(right)
+        if left.type is i64 and right.type is f64:
+            return b.sitofp(left), right
+        if left.type is i1 and right.type is i64:
+            return b.zext(left, i64), right
+        if left.type is i64 and right.type is i1:
+            return left, b.zext(right, i64)
+        raise CodegenError(
+            f"cannot unify operand types {left.type} and {right.type}")
+
+    def _case(self, expr: CaseExpr) -> Value:
+        b = self.builder
+        result_type = ir_type_of(expr.result_type)
+        merge = b.new_block("case.merge")
+        incoming: list[tuple[Value, object]] = []
+
+        for condition, value in expr.branches:
+            cond_value = self.compile(condition)
+            then_block = b.new_block("case.then")
+            else_block = b.new_block("case.else")
+            b.condbr(cond_value, then_block, else_block)
+            b.set_block(then_block)
+            branch_value = self.compile(value)
+            incoming.append((branch_value, b.block))
+            b.br(merge)
+            b.set_block(else_block)
+
+        default_value = (self.compile(expr.default)
+                         if expr.default is not None
+                         else Constant(result_type, 0))
+        incoming.append((default_value, b.block))
+        b.br(merge)
+
+        b.set_block(merge)
+        phi = b.phi(result_type, "case.result")
+        for value, block in incoming:
+            phi.add_incoming(value, block)
+        return phi
+
+    # ------------------------------------------------------------------ #
+    # externs
+    # ------------------------------------------------------------------ #
+    def _like_extern(self, pattern: str) -> ExternFunction:
+        key = ("like", pattern)
+        extern = self._externs.get(key)
+        if extern is None:
+            predicate = like_to_predicate(pattern)
+
+            def like_impl(value, _predicate=predicate):
+                return 1 if _predicate(value) else 0
+
+            like_impl.__name__ = f"rt_like_{len(self._externs)}"
+            extern = ExternFunction(like_impl.__name__, [ptr], i1, like_impl,
+                                    has_side_effects=False)
+            self._externs[key] = extern
+        return extern
+
+    def _extract_extern(self, field_name: str) -> ExternFunction:
+        key = ("extract", field_name)
+        extern = self._externs.get(key)
+        if extern is None:
+            impl = QueryRuntime.date_extract(field_name)
+            extern = ExternFunction(f"rt_extract_{field_name}", [i64], i64,
+                                    impl, has_side_effects=False)
+            self._externs[key] = extern
+        return extern

@@ -1,0 +1,327 @@
+"""Query runtime: the "C++ side" of the generated code.
+
+Generated worker functions call into a small set of runtime functions -- hash
+table inserts and probes, aggregate updates, result emission, string
+predicates and date field extraction.  These are the Python equivalents of
+the pre-compiled C++ runtime HyPer links against; they are deliberately kept
+small so the per-tuple work stays in generated code where the execution tiers
+differ.
+
+All runtime state of one query execution lives in a :class:`QueryState`.
+Worker functions never allocate shared state themselves, which is what makes
+morsels independent and execution-mode switches safe (paper Section III-B).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import ExecutionError
+from ..plan.physical import (
+    AggregateSink,
+    AggregateSpec,
+    HashBuildSink,
+    OutputSink,
+    Pipeline,
+    PhysicalPlan,
+    IntermediateSource,
+    TableSource,
+)
+from ..types import SQLType, days_to_date
+
+
+class QueryState:
+    """All mutable state of one query execution."""
+
+    def __init__(self, plan: PhysicalPlan):
+        self.plan = plan
+        #: join_id -> hash table (key -> list of payload tuples)
+        self.hash_tables: dict[int, dict] = {}
+        #: agg_id -> aggregation hash table (key -> list of accumulator cells)
+        self.agg_tables: dict[int, dict] = {}
+        #: agg_id -> lock protecting read-modify-write accumulator updates
+        self.agg_locks: dict[int, threading.Lock] = {}
+        #: agg_id -> materialised intermediate columns (lists, pre-created so
+        #: that generated code can hold stable pointers to them)
+        self.intermediate_columns: dict[int, list[list]] = {}
+        #: agg_id -> row count of the materialised intermediate
+        self.intermediate_rows: dict[int, int] = {}
+        #: collected output rows (tuples)
+        self.output_rows: list[tuple] = []
+
+        for pipeline in plan.pipelines:
+            sink = pipeline.sink
+            if isinstance(sink, HashBuildSink):
+                self.hash_tables[sink.join_id] = {}
+            elif isinstance(sink, AggregateSink):
+                self.agg_tables[sink.agg_id] = {}
+                self.agg_locks[sink.agg_id] = threading.Lock()
+                self.intermediate_columns[sink.agg_id] = [
+                    [] for _ in sink.intermediate.columns]
+                self.intermediate_rows[sink.agg_id] = 0
+
+    # ------------------------------------------------------------------ #
+    def source_row_count(self, pipeline: Pipeline) -> int:
+        """Number of input rows of a pipeline (known once its inputs exist)."""
+        source = pipeline.source
+        if isinstance(source, TableSource):
+            return source.table.num_rows
+        sink_agg_id = _agg_id_of_intermediate(self.plan, source)
+        return self.intermediate_rows[sink_agg_id]
+
+
+def _agg_id_of_intermediate(plan: PhysicalPlan,
+                            source: IntermediateSource) -> int:
+    for pipeline in plan.pipelines:
+        sink = pipeline.sink
+        if isinstance(sink, AggregateSink) and sink.intermediate is source:
+            return sink.agg_id
+    raise ExecutionError(
+        f"intermediate source {source.name!r} has no producing pipeline")
+
+
+# --------------------------------------------------------------------------- #
+# runtime function factories (captured by generated code as extern bindings)
+# --------------------------------------------------------------------------- #
+class QueryRuntime:
+    """Builds the runtime closures for one query execution."""
+
+    def __init__(self, state: QueryState):
+        self.state = state
+
+    # ---- hash joins ----------------------------------------------------- #
+    def make_build_insert(self, join_id: int, num_keys: int,
+                          num_payload: int) -> Callable:
+        """Closure inserting (key, payload) into the join hash table."""
+        table = self.state.hash_tables[join_id]
+
+        if num_keys == 1:
+            def insert(key, *payload):
+                bucket = table.get(key)
+                if bucket is None:
+                    bucket = table.setdefault(key, [])
+                bucket.append(payload)
+        else:
+            def insert(*values):
+                key = values[:num_keys]
+                payload = values[num_keys:]
+                bucket = table.get(key)
+                if bucket is None:
+                    bucket = table.setdefault(key, [])
+                bucket.append(payload)
+        insert.__name__ = f"rt_build_insert_{join_id}"
+        return insert
+
+    def make_probe(self, join_id: int, num_keys: int) -> Callable:
+        """Closure returning the list of matching payload tuples (or [])."""
+        table = self.state.hash_tables[join_id]
+        empty: list = []
+
+        if num_keys == 1:
+            def probe(key):
+                return table.get(key, empty)
+        else:
+            def probe(*key):
+                return table.get(key, empty)
+        probe.__name__ = f"rt_probe_{join_id}"
+        return probe
+
+    @staticmethod
+    def match_count(matches) -> int:
+        return len(matches)
+
+    @staticmethod
+    def make_match_getter(column_index: int) -> Callable:
+        def get(matches, row):
+            return matches[row][column_index]
+        get.__name__ = f"rt_match_get_{column_index}"
+        return get
+
+    # ---- aggregation ----------------------------------------------------- #
+    def make_agg_update(self, sink: AggregateSink) -> Callable:
+        """Closure folding one row into the aggregation hash table.
+
+        The accumulator layout per group is one cell per aggregate; AVG uses
+        a ``[sum, count]`` pair.  The update is guarded by a lock because the
+        read-modify-write is not atomic under concurrent worker threads.
+        """
+        table = self.state.agg_tables[sink.agg_id]
+        lock = self.state.agg_locks[sink.agg_id]
+        num_groups = len(sink.group_by)
+        specs = list(sink.aggregates)
+        arg_positions: list[Optional[int]] = []
+        next_arg = 0
+        for spec in specs:
+            if spec.argument is None:
+                arg_positions.append(None)
+            else:
+                arg_positions.append(next_arg)
+                next_arg += 1
+
+        def initial_cells():
+            cells = []
+            for spec in specs:
+                if spec.function == "count":
+                    cells.append(0)
+                elif spec.function == "avg":
+                    cells.append([0.0, 0])
+                elif spec.function in ("min", "max"):
+                    cells.append(None)
+                else:  # sum
+                    cells.append(0 if spec.result_type is SQLType.INT64
+                                 else 0.0)
+            return cells
+
+        def update(*values):
+            if num_groups == 1:
+                key = values[0]
+            else:
+                key = values[:num_groups]
+            args = values[num_groups:]
+            with lock:
+                cells = table.get(key)
+                if cells is None:
+                    cells = table.setdefault(key, initial_cells())
+                for index, spec in enumerate(specs):
+                    position = arg_positions[index]
+                    if spec.function == "count":
+                        cells[index] += 1
+                        continue
+                    value = args[position]
+                    if spec.function == "sum":
+                        cells[index] += value
+                    elif spec.function == "avg":
+                        pair = cells[index]
+                        pair[0] += value
+                        pair[1] += 1
+                    elif spec.function == "min":
+                        current = cells[index]
+                        if current is None or value < current:
+                            cells[index] = value
+                    elif spec.function == "max":
+                        current = cells[index]
+                        if current is None or value > current:
+                            cells[index] = value
+        update.__name__ = f"rt_agg_update_{sink.agg_id}"
+        return update
+
+    def finalize_aggregate(self, sink: AggregateSink) -> int:
+        """Materialise the aggregation result into the intermediate columns.
+
+        Runs single-threaded in the pipeline's finish step (the equivalent of
+        HyPer's pipeline post-processing in runtime code).  Returns the number
+        of result groups.
+        """
+        table = self.state.agg_tables[sink.agg_id]
+        columns = self.state.intermediate_columns[sink.agg_id]
+        for column in columns:
+            column.clear()
+        num_groups = len(sink.group_by)
+
+        if not table and num_groups == 0:
+            # SQL scalar aggregates produce exactly one row on empty input.
+            cells = []
+            for spec in sink.aggregates:
+                if spec.function == "count":
+                    cells.append(0)
+                elif spec.result_type is SQLType.INT64:
+                    cells.append(0)
+                else:
+                    cells.append(0.0)
+            for j, value in enumerate(cells):
+                columns[num_groups + j].append(value)
+            self.state.intermediate_rows[sink.agg_id] = 1
+            return 1
+
+        for key, cells in table.items():
+            if num_groups == 1:
+                columns[0].append(key)
+            else:
+                for i in range(num_groups):
+                    columns[i].append(key[i])
+            for j, spec in enumerate(sink.aggregates):
+                cell = cells[j]
+                if spec.function == "avg":
+                    total, count = cell
+                    cell = total / count if count else 0.0
+                elif spec.function in ("min", "max") and cell is None:
+                    cell = 0
+                columns[num_groups + j].append(cell)
+        self.state.intermediate_rows[sink.agg_id] = len(table)
+        return len(table)
+
+    # ---- output ----------------------------------------------------------- #
+    def make_emit(self, sink: OutputSink) -> Callable:
+        rows = self.state.output_rows
+
+        def emit(*values):
+            rows.append(values)
+        emit.__name__ = "rt_emit_row"
+        return emit
+
+    def finish_output(self, sink: OutputSink) -> list[tuple]:
+        """Apply DISTINCT / ORDER BY / LIMIT to the collected rows."""
+        rows = self.state.output_rows
+        if sink.distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows = unique
+        if sink.order_by:
+            rows = _sort_rows(rows, sink)
+        if sink.limit is not None:
+            rows = rows[:sink.limit]
+        return rows
+
+    # ---- scalar helpers --------------------------------------------------- #
+    @staticmethod
+    def date_extract(field_name: str) -> Callable:
+        if field_name == "year":
+            def extract(days):
+                return days_to_date(days).year
+        elif field_name == "month":
+            def extract(days):
+                return days_to_date(days).month
+        else:
+            def extract(days):
+                return days_to_date(days).day
+        extract.__name__ = f"rt_extract_{field_name}"
+        return extract
+
+    @staticmethod
+    def raise_overflow():
+        raise ExecutionError("numeric overflow during query execution")
+
+
+def _sort_rows(rows: list[tuple], sink: OutputSink) -> list[tuple]:
+    """Sort output rows by the sink's ORDER BY keys.
+
+    The sort keys were appended to each emitted row *after* the visible
+    output columns by the code generator, so sorting never has to re-evaluate
+    expressions; the extra key columns are stripped afterwards.
+    """
+    num_visible = len(sink.output)
+    keys = sink.order_by
+    if not keys:
+        return rows
+
+    # Stable sort from the least-significant key to the most significant.
+    ordered = list(rows)
+    for offset in range(len(keys) - 1, -1, -1):
+        _, ascending = keys[offset]
+        ordered.sort(key=lambda row: row[num_visible + offset],
+                     reverse=not ascending)
+    return ordered
+
+
+def strip_sort_keys(rows: list[tuple], sink: OutputSink) -> list[tuple]:
+    """Remove the trailing sort-key columns appended by the code generator."""
+    if not sink.order_by:
+        return rows
+    width = len(sink.output)
+    return [row[:width] for row in rows]

@@ -1,0 +1,284 @@
+"""The database engine facade.
+
+:class:`Database` glues the whole stack together: catalog, SQL front end,
+planner, code generator and the execution tiers.  It exposes the same
+execution modes the paper evaluates:
+
+* ``"ir-interp"``     -- direct IR interpretation (the "LLVM interpreter"
+  stand-in, slowest; Fig. 2 only),
+* ``"bytecode"``      -- translate to VM bytecode and interpret,
+* ``"unoptimized"``   -- compile every worker without IR passes,
+* ``"optimized"``     -- run the pass pipeline and compile every worker,
+* ``"adaptive"``      -- the paper's contribution: start in bytecode,
+  switch per pipeline based on runtime feedback,
+* ``"volcano"`` / ``"vectorized"`` -- the interpretation baselines
+  (PostgreSQL / MonetDB stand-ins) implemented in :mod:`repro.baselines`.
+
+Every :class:`QueryResult` carries a per-phase timing breakdown (parse,
+analysis, planning, code generation, compilation, execution), which is what
+the Table I / Fig. 1 / Fig. 3 reproductions report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .catalog import Catalog
+from .codegen import CodeGenerator, GeneratedQuery, QueryRuntime, QueryState
+from .errors import ExecutionError, ReproError
+from .optimizer import Planner, PlanningResult
+from .semantics import Binder, BoundQuery
+from .sqlparser import parse
+from .types import SQLType, decode_internal_value
+from .vm import IRInterpreter, VirtualMachine, translate_function
+from .backend import compile_function
+from .codegen.runtime import strip_sort_keys
+
+#: Execution modes backed by the compiled-query engine.
+ENGINE_MODES = ("ir-interp", "bytecode", "unoptimized", "optimized",
+                "adaptive")
+#: Baseline engines (separate implementations).
+BASELINE_MODES = ("volcano", "vectorized")
+
+#: Default morsel size (tuples per work unit), as in the paper (~10k).
+DEFAULT_MORSEL_SIZE = 10_000
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each phase of one query execution."""
+
+    parse: float = 0.0
+    bind: float = 0.0
+    plan: float = 0.0
+    codegen: float = 0.0
+    compile: float = 0.0      # bytecode translation or backend compilation
+    execution: float = 0.0
+
+    @property
+    def planning(self) -> float:
+        """Parsing + semantic analysis + optimization (paper's "plan")."""
+        return self.parse + self.bind + self.plan
+
+    @property
+    def total(self) -> float:
+        return (self.parse + self.bind + self.plan + self.codegen
+                + self.compile + self.execution)
+
+
+@dataclass
+class PipelineExecution:
+    """Execution statistics of one pipeline."""
+
+    name: str
+    rows: int
+    morsels: int
+    seconds: float
+    mode_history: list[str] = field(default_factory=list)
+    ir_instructions: int = 0
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one query execution."""
+
+    column_names: list[str]
+    column_types: list[SQLType]
+    rows: list[tuple]
+    mode: str
+    timings: PhaseTimings
+    pipelines: list[PipelineExecution] = field(default_factory=list)
+    ir_instructions: int = 0
+    trace: Optional[object] = None
+
+    def decoded_rows(self) -> list[tuple]:
+        """Rows with DATE/BOOL columns decoded to Python objects."""
+        decoded = []
+        for row in self.rows:
+            decoded.append(tuple(
+                decode_internal_value(value, sql_type)
+                for value, sql_type in zip(row, self.column_types)))
+        return decoded
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """A single-node, in-memory database instance."""
+
+    def __init__(self, morsel_size: int = DEFAULT_MORSEL_SIZE):
+        self.catalog = Catalog()
+        self.morsel_size = morsel_size
+        self._vm = VirtualMachine()
+
+    # ------------------------------------------------------------------ #
+    # DDL / DML passthroughs
+    # ------------------------------------------------------------------ #
+    def create_table(self, name: str, columns) -> None:
+        self.catalog.create_table(name, columns)
+
+    def insert(self, table_name: str, rows, encode: bool = True) -> int:
+        table = self.catalog.table(table_name)
+        inserted = table.insert_rows(rows, encode=encode)
+        self.catalog.invalidate_statistics(table_name)
+        return inserted
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def prepare(self, sql: str) -> tuple[BoundQuery, PlanningResult,
+                                         PhaseTimings]:
+        """Parse, bind and plan a query, returning the phase timings so far."""
+        timings = PhaseTimings()
+        start = time.perf_counter()
+        statement = parse(sql)
+        timings.parse = time.perf_counter() - start
+
+        start = time.perf_counter()
+        bound = Binder(self.catalog).bind(statement)
+        timings.bind = time.perf_counter() - start
+
+        start = time.perf_counter()
+        planning = Planner(self.catalog).plan(bound)
+        timings.plan = time.perf_counter() - start
+        return bound, planning, timings
+
+    def generate(self, sql: str) -> tuple[GeneratedQuery, PlanningResult,
+                                          PhaseTimings]:
+        """Plan a query and generate its IR module (no execution)."""
+        _, planning, timings = self.prepare(sql)
+        state = QueryState(planning.physical)
+        generator = CodeGenerator(planning.physical, state)
+        generated = generator.generate()
+        timings.codegen = generated.codegen_seconds
+        return generated, planning, timings
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str, mode: str = "adaptive", threads: int = 1,
+                collect_trace: bool = False) -> QueryResult:
+        """Execute ``sql`` with the given execution mode."""
+        if mode in BASELINE_MODES:
+            return self._execute_baseline(sql, mode)
+        if mode not in ENGINE_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r}; expected one of "
+                f"{ENGINE_MODES + BASELINE_MODES}")
+
+        generated, planning, timings = self.generate(sql)
+
+        if mode == "adaptive":
+            from .adaptive import AdaptiveExecutor
+
+            executor = AdaptiveExecutor(self, num_threads=threads,
+                                        collect_trace=collect_trace)
+            return executor.execute(generated, planning, timings)
+
+        if threads > 1:
+            from .adaptive import StaticParallelExecutor
+
+            executor = StaticParallelExecutor(self, mode=mode,
+                                              num_threads=threads,
+                                              collect_trace=collect_trace)
+            return executor.execute(generated, planning, timings)
+
+        return self._execute_static(generated, planning, timings, mode)
+
+    # ------------------------------------------------------------------ #
+    def _execute_static(self, generated: GeneratedQuery,
+                        planning: PlanningResult, timings: PhaseTimings,
+                        mode: str) -> QueryResult:
+        """Single-threaded execution with one statically chosen tier."""
+        pipeline_stats: list[PipelineExecution] = []
+        state = generated.state
+
+        for pipeline in generated.pipelines:
+            executable, compile_seconds = self._prepare_tier(pipeline.function,
+                                                             mode)
+            timings.compile += compile_seconds
+
+            rows = state.source_row_count(pipeline.pipeline)
+            start = time.perf_counter()
+            morsels = 0
+            for begin in range(0, rows, self.morsel_size):
+                end = min(begin + self.morsel_size, rows)
+                executable(None, begin, end)
+                morsels += 1
+            if rows == 0:
+                morsels = 0
+            if pipeline.finish is not None:
+                pipeline.finish()
+            elapsed = time.perf_counter() - start
+            timings.execution += elapsed
+            pipeline_stats.append(PipelineExecution(
+                name=pipeline.name, rows=rows, morsels=morsels,
+                seconds=elapsed, mode_history=[mode],
+                ir_instructions=pipeline.function.instruction_count()))
+
+        return self._assemble_result(generated, planning, timings, mode,
+                                     pipeline_stats)
+
+    def _prepare_tier(self, function, mode: str):
+        """Return ``(callable(state, begin, end), compile_seconds)`` for a tier."""
+        if mode == "ir-interp":
+            interpreter = IRInterpreter()
+
+            def run_ir(state, begin, end):
+                interpreter.execute(function, [state, begin, end])
+            return run_ir, 0.0
+        if mode == "bytecode":
+            start = time.perf_counter()
+            bytecode, _ = translate_function(function)
+            elapsed = time.perf_counter() - start
+            vm = self._vm
+
+            def run_bytecode(state, begin, end):
+                vm.execute(bytecode, [state, begin, end])
+            return run_bytecode, elapsed
+        if mode in ("unoptimized", "optimized"):
+            compiled = compile_function(function, mode)
+            return compiled, compiled.compile_seconds
+        raise ExecutionError(f"unknown tier {mode!r}")
+
+    def _assemble_result(self, generated: GeneratedQuery,
+                         planning: PlanningResult, timings: PhaseTimings,
+                         mode: str,
+                         pipeline_stats: list[PipelineExecution],
+                         trace=None) -> QueryResult:
+        sink = generated.output_sink
+        runtime = generated.runtime
+        rows = runtime.finish_output(sink)
+        rows = strip_sort_keys(rows, sink)
+        column_names = [name for name, _ in planning.physical.output_columns]
+        column_types = [sql_type for _, sql_type
+                        in planning.physical.output_columns]
+        return QueryResult(
+            column_names=column_names,
+            column_types=column_types,
+            rows=rows,
+            mode=mode,
+            timings=timings,
+            pipelines=pipeline_stats,
+            ir_instructions=generated.instruction_count,
+            trace=trace)
+
+    # ------------------------------------------------------------------ #
+    def _execute_baseline(self, sql: str, mode: str) -> QueryResult:
+        from .baselines import VectorizedEngine, VolcanoEngine
+
+        bound, planning, timings = self.prepare(sql)
+        engine = (VolcanoEngine(self.catalog) if mode == "volcano"
+                  else VectorizedEngine(self.catalog))
+        start = time.perf_counter()
+        rows = engine.execute(planning.physical)
+        timings.execution = time.perf_counter() - start
+        column_names = [name for name, _ in planning.physical.output_columns]
+        column_types = [sql_type for _, sql_type
+                        in planning.physical.output_columns]
+        return QueryResult(column_names=column_names,
+                           column_types=column_types,
+                           rows=rows, mode=mode, timings=timings)

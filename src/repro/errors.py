@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro query engine.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single exception type at the API boundary while the individual
+subsystems raise precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SQLError):
+    """A token could not be recognised in the SQL text."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParserError(SQLError):
+    """The SQL text is not syntactically valid."""
+
+
+class BindError(SQLError):
+    """Semantic analysis failed (unknown table/column, type mismatch, ...)."""
+
+
+class CatalogError(ReproError):
+    """Schema or table level error (duplicate table, unknown column, ...)."""
+
+
+class PlanError(ReproError):
+    """The optimizer or physical planner produced or met an invalid plan."""
+
+
+class CodegenError(ReproError):
+    """Code generation from a physical plan to IR failed."""
+
+
+class IRError(ReproError):
+    """The IR is malformed (verifier failures, invalid builder usage, ...)."""
+
+
+class IRVerificationError(IRError):
+    """The IR verifier rejected a module or function."""
+
+
+class VMError(ReproError):
+    """Bytecode translation or interpretation failed."""
+
+
+class BackendError(ReproError):
+    """Lowering IR to an executable tier failed."""
+
+
+class ExecutionError(ReproError):
+    """A runtime error occurred while executing a query."""
+
+
+class OverflowError_(ExecutionError):
+    """Checked integer arithmetic overflowed during query execution.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``OverflowError`` while still reading naturally at call sites.
+    """
+
+
+class DivisionByZeroError(ExecutionError):
+    """A division or modulo by zero occurred during query execution."""
+
+
+class AdaptiveError(ReproError):
+    """The adaptive execution framework was misused or hit an internal error."""

@@ -1,0 +1,386 @@
+"""Concrete IR instructions.
+
+The instruction set covers what the query code generator emits, which closely
+follows what HyPer-style data-centric code generation produces in LLVM IR:
+
+* integer / float arithmetic with optional overflow checks,
+* comparisons, selects, casts,
+* pointer arithmetic (``gep``) plus loads and stores on column buffers,
+* calls into the query runtime (hash tables, aggregation, output, strings),
+* phi nodes, branches and returns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from ..errors import IRError
+from .types import IRType, i1, i64, f64, ptr, void
+from .values import Instruction, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .function import BasicBlock, ExternFunction
+
+
+# --------------------------------------------------------------------------- #
+# arithmetic / logic
+# --------------------------------------------------------------------------- #
+#: Binary opcodes on integers (and, where it makes sense, floats).
+BINARY_OPCODES = {
+    "add", "sub", "mul", "sdiv", "srem",
+    "and", "or", "xor", "shl", "ashr",
+    "fadd", "fsub", "fmul", "fdiv",
+    "smin", "smax", "fmin", "fmax",
+}
+
+#: Opcodes that trap on a zero divisor.
+DIVISION_OPCODES = {"sdiv", "srem", "fdiv"}
+
+#: Integer opcodes that have a checked-overflow companion.
+OVERFLOW_CHECKED = {"add", "sub", "mul"}
+
+
+class BinaryInst(Instruction):
+    """``result = <op> ty lhs, rhs`` -- two-operand arithmetic or logic."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in BINARY_OPCODES:
+            raise IRError(f"unknown binary opcode {opcode!r}")
+        if lhs.type != rhs.type:
+            raise IRError(
+                f"binary operands must share a type: {lhs.type} vs {rhs.type}")
+        expects_float = opcode.startswith("f")
+        if expects_float != lhs.type.is_float:
+            raise IRError(f"opcode {opcode} does not match type {lhs.type}")
+        super().__init__(opcode, lhs.type, [lhs, rhs], name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def has_side_effects(self) -> bool:
+        # Division can raise (division by zero), so DCE must keep it.
+        return self.opcode in DIVISION_OPCODES
+
+
+class OverflowCheckInst(Instruction):
+    """``flag = ovf.<op> ty lhs, rhs`` -- 1 when ``lhs <op> rhs`` overflows.
+
+    HyPer emits LLVM's ``llvm.sadd.with.overflow`` style intrinsics followed
+    by ``extractvalue`` and a branch; this instruction is the equivalent
+    overflow predicate.  The bytecode translator fuses the common
+    ``op / ovf.op / condbr`` sequence into a single checked opcode
+    (paper section IV-F).
+    """
+
+    __slots__ = ("checked_opcode",)
+
+    def __init__(self, checked_opcode: str, lhs: Value, rhs: Value,
+                 name: str = ""):
+        if checked_opcode not in OVERFLOW_CHECKED:
+            raise IRError(
+                f"no overflow check available for opcode {checked_opcode!r}")
+        if not lhs.type.is_integer or lhs.type != rhs.type:
+            raise IRError("overflow checks require matching integer operands")
+        super().__init__(f"ovf.{checked_opcode}", i1, [lhs, rhs], name)
+        self.checked_opcode = checked_opcode
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+#: Comparison predicates (signed integer and ordered float).
+COMPARE_PREDICATES = {"eq", "ne", "lt", "le", "gt", "ge"}
+
+
+class CompareInst(Instruction):
+    """``flag = icmp/fcmp <pred> ty lhs, rhs``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in COMPARE_PREDICATES:
+            raise IRError(f"unknown comparison predicate {predicate!r}")
+        if lhs.type != rhs.type:
+            raise IRError(
+                f"comparison operands must share a type: {lhs.type} vs {rhs.type}")
+        opcode = "fcmp" if lhs.type.is_float else "icmp"
+        super().__init__(opcode, i1, [lhs, rhs], name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+#: Cast opcodes: integer<->float conversions and integer width changes.
+CAST_OPCODES = {"sitofp", "fptosi", "zext", "sext", "trunc"}
+
+
+class CastInst(Instruction):
+    """``result = <cast> src to dst_type``."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, value: Value, to_type: IRType,
+                 name: str = ""):
+        if opcode not in CAST_OPCODES:
+            raise IRError(f"unknown cast opcode {opcode!r}")
+        if opcode == "sitofp" and not (value.type.is_integer and to_type.is_float):
+            raise IRError("sitofp requires an integer source and float target")
+        if opcode == "fptosi" and not (value.type.is_float and to_type.is_integer):
+            raise IRError("fptosi requires a float source and integer target")
+        if opcode in ("zext", "sext", "trunc"):
+            if not (value.type.is_integer and to_type.is_integer):
+                raise IRError(f"{opcode} requires integer source and target")
+        super().__init__(opcode, to_type, [value], name)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class SelectInst(Instruction):
+    """``result = select cond, then_value, else_value``."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, then_value: Value, else_value: Value,
+                 name: str = ""):
+        if not cond.type.is_bool:
+            raise IRError("select condition must be i1")
+        if then_value.type != else_value.type:
+            raise IRError("select arms must share a type")
+        super().__init__("select", then_value.type,
+                         [cond, then_value, else_value], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def then_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def else_value(self) -> Value:
+        return self.operands[2]
+
+
+# --------------------------------------------------------------------------- #
+# memory
+# --------------------------------------------------------------------------- #
+class GEPInst(Instruction):
+    """``result = gep base, index`` -- pointer arithmetic on a column buffer.
+
+    The runtime represents pointers as ``(buffer, offset)`` pairs; ``gep``
+    produces a new pointer displaced by ``index`` elements.  Like LLVM's
+    ``getelementptr`` it performs no memory access itself, which is what makes
+    the GEP+load / GEP+store fusion of paper section IV-F possible.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, base: Value, index: Value, name: str = ""):
+        if not base.type.is_pointer:
+            raise IRError("gep base must be a pointer")
+        if not index.type.is_integer:
+            raise IRError("gep index must be an integer")
+        super().__init__("gep", ptr, [base, index], name)
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class LoadInst(Instruction):
+    """``result = load <ty> pointer`` -- read an element from a buffer."""
+
+    __slots__ = ()
+
+    def __init__(self, ty: IRType, pointer: Value, name: str = ""):
+        if not pointer.type.is_pointer:
+            raise IRError("load requires a pointer operand")
+        if ty.is_void:
+            raise IRError("cannot load void")
+        super().__init__("load", ty, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class StoreInst(Instruction):
+    """``store value, pointer`` -- write an element into a buffer."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Value, pointer: Value):
+        if not pointer.type.is_pointer:
+            raise IRError("store requires a pointer operand")
+        super().__init__("store", void, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+
+class CallInst(Instruction):
+    """``result = call @name(args...)`` -- call into the query runtime.
+
+    Calls always target *extern* functions registered with the runtime (hash
+    table operations, output emission, string predicates, ...), or another IR
+    function of the same module (used by ``queryStart`` to invoke pipeline
+    worker functions when running without the adaptive scheduler).
+    """
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee, args: Sequence[Value], name: str = ""):
+        # ``callee`` is an ExternFunction or Function; import avoided to keep
+        # module load order simple.
+        super().__init__("call", callee.return_type, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> list[Value]:
+        return list(self.operands)
+
+    @property
+    def has_side_effects(self) -> bool:
+        return getattr(self.callee, "has_side_effects", True)
+
+
+# --------------------------------------------------------------------------- #
+# control flow
+# --------------------------------------------------------------------------- #
+class PhiInst(Instruction):
+    """``result = phi ty [value, pred_block]...``."""
+
+    __slots__ = ("incoming",)
+
+    def __init__(self, ty: IRType, name: str = ""):
+        super().__init__("phi", ty, [], name)
+        #: list of ``(value, block)`` pairs.
+        self.incoming: list[tuple[Value, "BasicBlock"]] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type != self.type and not isinstance(value, _UndefLike):
+            if value.type != self.type:
+                raise IRError(
+                    f"phi incoming type {value.type} does not match {self.type}")
+        self.incoming.append((value, block))
+        self.operands.append(value)
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for value, pred in self.incoming:
+            if pred is block:
+                return value
+        raise IRError(f"phi has no incoming value for block {block.name}")
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        count = super().replace_operand(old, new)
+        if count:
+            self.incoming = [
+                (new if value is old else value, block)
+                for value, block in self.incoming
+            ]
+        return count
+
+
+class _UndefLike:
+    """Marker mixin placeholder (kept for forward compatibility)."""
+
+
+class BranchInst(Instruction):
+    """``br target`` -- unconditional jump."""
+
+    __slots__ = ("target",)
+    is_terminator = True
+
+    def __init__(self, target: "BasicBlock"):
+        super().__init__("br", void, [])
+        self.target = target
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+
+class CondBranchInst(Instruction):
+    """``condbr cond, true_target, false_target``."""
+
+    __slots__ = ("true_target", "false_target")
+    is_terminator = True
+
+    def __init__(self, cond: Value, true_target: "BasicBlock",
+                 false_target: "BasicBlock"):
+        if not cond.type.is_bool:
+            raise IRError("condbr condition must be i1")
+        super().__init__("condbr", void, [cond])
+        self.true_target = true_target
+        self.false_target = false_target
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.true_target, self.false_target]
+
+
+class ReturnInst(Instruction):
+    """``ret`` or ``ret value``."""
+
+    __slots__ = ()
+    is_terminator = True
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__("ret", void, [] if value is None else [value])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+
+class UnreachableInst(Instruction):
+    """Marks a block that can never be reached (after a runtime error call)."""
+
+    __slots__ = ()
+    is_terminator = True
+
+    def __init__(self):
+        super().__init__("unreachable", void, [])
+
+    def successors(self) -> list["BasicBlock"]:
+        return []

@@ -1,0 +1,108 @@
+"""Textual IR printer (LLVM-assembly flavoured), used for debugging and tests."""
+
+from __future__ import annotations
+
+from .function import Function, Module
+from .instructions import (
+    BranchInst,
+    CallInst,
+    CastInst,
+    CompareInst,
+    CondBranchInst,
+    GEPInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+)
+from .values import Constant, Instruction, Value
+
+
+def _value_names(function: Function) -> dict[int, str]:
+    """Assign stable printable names (%0, %1, ...) to every value."""
+    names: dict[int, str] = {}
+    counter = 0
+    for arg in function.args:
+        names[arg.uid] = arg.name or f"arg{arg.index}"
+        counter += 1
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.has_result:
+                names[inst.uid] = inst.name or str(counter)
+                counter += 1
+    return names
+
+
+def _fmt_operand(value: Value, names: dict[int, str]) -> str:
+    if isinstance(value, Constant):
+        return value.short_name()
+    name = names.get(value.uid)
+    if name is None:
+        return value.short_name()
+    return f"%{name}"
+
+
+def format_instruction(inst: Instruction, names: dict[int, str]) -> str:
+    """Format one instruction as pseudo LLVM assembly."""
+    fmt = lambda v: _fmt_operand(v, names)  # noqa: E731 - local shorthand
+    prefix = f"%{names[inst.uid]} = " if inst.has_result else ""
+
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(f"[{fmt(v)}, %{b.name}]" for v, b in inst.incoming)
+        return f"{prefix}phi {inst.type} {pairs}"
+    if isinstance(inst, CompareInst):
+        return (f"{prefix}{inst.opcode} {inst.predicate} "
+                f"{inst.lhs.type} {fmt(inst.lhs)}, {fmt(inst.rhs)}")
+    if isinstance(inst, SelectInst):
+        return (f"{prefix}select {fmt(inst.condition)}, "
+                f"{fmt(inst.then_value)}, {fmt(inst.else_value)}")
+    if isinstance(inst, CastInst):
+        return f"{prefix}{inst.opcode} {fmt(inst.value)} to {inst.type}"
+    if isinstance(inst, GEPInst):
+        return f"{prefix}gep {fmt(inst.base)}, {fmt(inst.index)}"
+    if isinstance(inst, LoadInst):
+        return f"{prefix}load {inst.type}, {fmt(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        return f"store {fmt(inst.value)}, {fmt(inst.pointer)}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(fmt(a) for a in inst.args)
+        return f"{prefix}call {inst.type} @{inst.callee.name}({args})"
+    if isinstance(inst, BranchInst):
+        return f"br %{inst.target.name}"
+    if isinstance(inst, CondBranchInst):
+        return (f"condbr {fmt(inst.condition)}, "
+                f"%{inst.true_target.name}, %{inst.false_target.name}")
+    if isinstance(inst, ReturnInst):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {inst.value.type} {fmt(inst.value)}"
+    operands = ", ".join(fmt(op) for op in inst.operands)
+    if operands:
+        return f"{prefix}{inst.opcode} {inst.type} {operands}"
+    return f"{prefix}{inst.opcode}"
+
+
+def print_function(function: Function) -> str:
+    """Render a function as readable pseudo-LLVM text."""
+    names = _value_names(function)
+    args = ", ".join(f"{arg.type} %{names[arg.uid]}" for arg in function.args)
+    lines = [f"define {function.return_type} @{function.name}({args}) {{"]
+    for block in function.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst, names)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module, extern declarations first."""
+    lines = [f"; module {module.name}"]
+    for extern in module.externs.values():
+        args = ", ".join(str(t) for t in extern.arg_types)
+        lines.append(f"declare {extern.return_type} @{extern.name}({args})")
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines)

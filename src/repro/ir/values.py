@@ -1,0 +1,177 @@
+"""SSA values: constants, function arguments and instructions.
+
+Everything that can appear as an operand of an instruction is a
+:class:`Value`.  Instructions themselves are values (their result), mirroring
+LLVM's design; void-typed instructions simply must not be used as operands.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from ..errors import IRError
+from .types import IRType, i1, f64, i64, ptr, void, wrap_integer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .function import BasicBlock
+
+
+_value_counter = itertools.count()
+
+
+class Value:
+    """Base class of every SSA value."""
+
+    __slots__ = ("type", "name", "uid")
+
+    def __init__(self, ty: IRType, name: str = ""):
+        self.type = ty
+        self.name = name
+        #: Stable unique id used for deterministic ordering in analyses.
+        self.uid = next(_value_counter)
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    def short_name(self) -> str:
+        """A printable name (``%name`` or the constant literal)."""
+        return f"%{self.name or self.uid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.short_name()}: {self.type}>"
+
+
+class Constant(Value):
+    """A literal constant of some IR type.
+
+    Integer constants are normalised into the two's-complement range of their
+    type; pointer constants carry an arbitrary Python object (used for
+    runtime state pointers, interned strings, column buffers).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, ty: IRType, value):
+        super().__init__(ty, name="")
+        if ty.is_integer:
+            value = wrap_integer(int(value), ty)
+        elif ty.is_float:
+            value = float(value)
+        elif ty.is_void:
+            raise IRError("cannot create a void constant")
+        self.value = value
+
+    def short_name(self) -> str:
+        if self.type.is_pointer:
+            return f"ptr<{type(self.value).__name__}>"
+        return str(self.value)
+
+    # Convenience constructors -------------------------------------------------
+    @staticmethod
+    def int64(value: int) -> "Constant":
+        return Constant(i64, value)
+
+    @staticmethod
+    def float64(value: float) -> "Constant":
+        return Constant(f64, value)
+
+    @staticmethod
+    def bool_(value: bool) -> "Constant":
+        return Constant(i1, 1 if value else 0)
+
+    @staticmethod
+    def pointer(obj) -> "Constant":
+        return Constant(ptr, obj)
+
+
+class Undef(Value):
+    """An undefined value, used only as a phi placeholder during construction."""
+
+    __slots__ = ()
+
+    def short_name(self) -> str:
+        return "undef"
+
+
+class Argument(Value):
+    """A formal argument of a function."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, ty: IRType, name: str, index: int):
+        super().__init__(ty, name)
+        self.index = index
+
+
+class Instruction(Value):
+    """Base class of all instructions.
+
+    An instruction owns a list of operand values and lives in exactly one
+    basic block.  ``opcode`` is a short lowercase mnemonic used by the
+    printer, the verifier and the bytecode translator.
+    """
+
+    __slots__ = ("opcode", "operands", "block")
+
+    #: Set by terminator subclasses.
+    is_terminator = False
+
+    def __init__(self, opcode: str, ty: IRType, operands: Iterable[Value],
+                 name: str = ""):
+        super().__init__(ty, name)
+        self.opcode = opcode
+        self.operands: list[Value] = list(operands)
+        self.block: Optional["BasicBlock"] = None
+
+    # ------------------------------------------------------------------ #
+    # operand helpers
+    # ------------------------------------------------------------------ #
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` among the operands.
+
+        Returns the number of replacements performed.  Subclasses that keep
+        structured operand references (e.g. phi incoming lists, branch
+        targets) override this to keep those in sync.
+        """
+        count = 0
+        for idx, op in enumerate(self.operands):
+            if op is old:
+                self.operands[idx] = new
+                count += 1
+        return count
+
+    def value_operands(self) -> list[Value]:
+        """Operands that are SSA values (excludes block references)."""
+        return list(self.operands)
+
+    @property
+    def has_result(self) -> bool:
+        """Whether the instruction produces an SSA value usable as operand."""
+        return not self.type.is_void
+
+    @property
+    def has_side_effects(self) -> bool:
+        """Conservative side-effect flag used by DCE."""
+        return self.is_terminator
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ops = ", ".join(op.short_name() for op in self.operands)
+        if self.has_result:
+            return f"<{self.short_name()} = {self.opcode} {ops}>"
+        return f"<{self.opcode} {ops}>"
+
+
+def replace_all_uses(function, old: Value, new: Value) -> int:
+    """Replace every use of ``old`` with ``new`` across a whole function.
+
+    This is the IR's equivalent of LLVM's ``replaceAllUsesWith``; our values
+    do not maintain use lists (queries are compiled once, linearly), so the
+    replacement walks all instructions.  Returns the number of uses replaced.
+    """
+    count = 0
+    for block in function.blocks:
+        for inst in block.instructions:
+            count += inst.replace_operand(old, new)
+    return count

@@ -1,0 +1,178 @@
+"""Structural verification of IR functions and modules.
+
+The verifier catches code-generation bugs early and is run by the test suite
+on every module the query compiler produces.  It checks the same invariants
+LLVM's verifier would for our instruction subset:
+
+* every block ends in exactly one terminator and has no terminator earlier,
+* phi nodes appear only at the top of a block and have exactly one incoming
+  value per predecessor,
+* every operand is defined in the function (SSA: defined exactly once) and
+  its definition dominates the use,
+* instruction result types are consistent with their operands,
+* call argument counts/types match the callee's declaration.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRVerificationError
+from .analysis import compute_dominator_tree, reverse_postorder
+from .function import BasicBlock, Function, Module
+from .instructions import CallInst, PhiInst
+from .values import Argument, Constant, Instruction, Undef, Value
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of a module.  Raises on the first violation."""
+    for function in module.functions.values():
+        verify_function(function)
+
+
+def verify_function(function: Function) -> None:
+    """Verify a single function.  Raises :class:`IRVerificationError`."""
+    if not function.blocks:
+        raise IRVerificationError(f"function {function.name} has no blocks")
+
+    _verify_block_structure(function)
+    _verify_phis(function)
+    _verify_defs_and_uses(function)
+    _verify_calls(function)
+
+
+# --------------------------------------------------------------------------- #
+# individual checks
+# --------------------------------------------------------------------------- #
+def _verify_block_structure(function: Function) -> None:
+    for block in function.blocks:
+        if not block.instructions:
+            raise IRVerificationError(
+                f"{function.name}/{block.name}: empty basic block")
+        terminator = block.instructions[-1]
+        if not terminator.is_terminator:
+            raise IRVerificationError(
+                f"{function.name}/{block.name}: block does not end in a "
+                f"terminator (last opcode: {terminator.opcode})")
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise IRVerificationError(
+                    f"{function.name}/{block.name}: terminator "
+                    f"{inst.opcode} in the middle of a block")
+        for inst in block.instructions:
+            if inst.block is not block:
+                raise IRVerificationError(
+                    f"{function.name}/{block.name}: instruction "
+                    f"{inst.opcode} has a stale parent-block link")
+
+
+def _verify_phis(function: Function) -> None:
+    preds = function.predecessors()
+    reachable = {id(b) for b in reverse_postorder(function)}
+    for block in function.blocks:
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                if seen_non_phi:
+                    raise IRVerificationError(
+                        f"{function.name}/{block.name}: phi after non-phi")
+                if id(block) not in reachable:
+                    continue
+                pred_ids = {id(p) for p in preds[block]}
+                incoming_ids = {id(b) for _, b in inst.incoming}
+                if pred_ids != incoming_ids:
+                    pred_names = sorted(p.name for p in preds[block])
+                    inc_names = sorted(b.name for _, b in inst.incoming)
+                    raise IRVerificationError(
+                        f"{function.name}/{block.name}: phi incoming blocks "
+                        f"{inc_names} do not match predecessors {pred_names}")
+            else:
+                seen_non_phi = True
+
+
+def _verify_defs_and_uses(function: Function) -> None:
+    order = reverse_postorder(function)
+    reachable = {id(b) for b in order}
+    dom_tree = compute_dominator_tree(function, order)
+
+    defined_in: dict[int, BasicBlock] = {}
+    position: dict[int, int] = {}
+    for block in order:
+        for idx, inst in enumerate(block.instructions):
+            if inst.has_result:
+                if inst.uid in defined_in:
+                    raise IRVerificationError(
+                        f"{function.name}: value {inst.short_name()} defined "
+                        f"more than once (SSA violation)")
+                defined_in[inst.uid] = block
+                position[inst.uid] = idx
+
+    arguments = {arg.uid for arg in function.args}
+
+    def check_use(user: Instruction, operand: Value, block: BasicBlock,
+                  idx: int) -> None:
+        if isinstance(operand, (Constant, Undef)):
+            return
+        if isinstance(operand, Argument):
+            if operand.uid not in arguments:
+                raise IRVerificationError(
+                    f"{function.name}: use of foreign argument "
+                    f"{operand.short_name()}")
+            return
+        if not isinstance(operand, Instruction):
+            raise IRVerificationError(
+                f"{function.name}: operand {operand!r} is not a value")
+        def_block = defined_in.get(operand.uid)
+        if def_block is None:
+            raise IRVerificationError(
+                f"{function.name}/{block.name}: use of value "
+                f"{operand.short_name()} that is never defined (or defined "
+                f"in an unreachable block)")
+        if isinstance(user, PhiInst):
+            # Phi uses are checked against the incoming edge, not the phi's
+            # own block: the incoming value must dominate the incoming block.
+            for value, incoming_block in user.incoming:
+                if value is operand:
+                    if id(incoming_block) not in reachable:
+                        continue
+                    if def_block is incoming_block:
+                        continue
+                    if not dom_tree.dominates(def_block, incoming_block):
+                        raise IRVerificationError(
+                            f"{function.name}/{block.name}: phi incoming "
+                            f"value {operand.short_name()} does not dominate "
+                            f"edge from {incoming_block.name}")
+            return
+        if def_block is block:
+            if position[operand.uid] >= idx:
+                raise IRVerificationError(
+                    f"{function.name}/{block.name}: value "
+                    f"{operand.short_name()} used before its definition")
+        elif not dom_tree.dominates(def_block, block):
+            raise IRVerificationError(
+                f"{function.name}/{block.name}: definition of "
+                f"{operand.short_name()} (in {def_block.name}) does not "
+                f"dominate this use")
+
+    for block in order:
+        for idx, inst in enumerate(block.instructions):
+            for operand in inst.value_operands():
+                check_use(inst, operand, block, idx)
+
+
+def _verify_calls(function: Function) -> None:
+    for inst in function.instructions():
+        if not isinstance(inst, CallInst):
+            continue
+        callee = inst.callee
+        arg_types = getattr(callee, "arg_types", None)
+        if arg_types is None:
+            # Call to another IR function: check against its argument list.
+            arg_types = tuple(arg.type for arg in callee.args)
+        if len(arg_types) != len(inst.args):
+            raise IRVerificationError(
+                f"{function.name}: call to @{callee.name} expects "
+                f"{len(arg_types)} arguments, got {len(inst.args)}")
+        for expected, actual in zip(arg_types, inst.args):
+            if expected != actual.type:
+                raise IRVerificationError(
+                    f"{function.name}: call to @{callee.name} argument type "
+                    f"mismatch: expected {expected}, got {actual.type}")

@@ -1,0 +1,7 @@
+"""Query optimizer: predicate classification, cardinality estimation,
+greedy join ordering and pipeline decomposition."""
+
+from .cardinality import CardinalityEstimator
+from .planner import Planner, PlanningResult
+
+__all__ = ["CardinalityEstimator", "Planner", "PlanningResult"]

@@ -1,0 +1,83 @@
+"""Constant folding: evaluate instructions whose operands are all constants."""
+
+from __future__ import annotations
+
+from ..errors import DivisionByZeroError
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    CastInst,
+    CompareInst,
+    OverflowCheckInst,
+    SelectInst,
+)
+from ..ir.types import wrap_integer
+from ..ir.values import Constant, replace_all_uses
+from ..vm.ir_interpreter import _apply_binary, _COMPARE_FUNCS
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class ConstantFoldingPass:
+    """Fold arithmetic, comparisons, casts and selects over constants."""
+
+    name = "constant-folding"
+
+    def run(self, function: Function) -> bool:
+        changed = False
+        for block in list(function.blocks):
+            for inst in list(block.instructions):
+                folded = self._fold(inst)
+                if folded is None:
+                    continue
+                replace_all_uses(function, inst, folded)
+                block.instructions.remove(inst)
+                changed = True
+        return changed
+
+    def _fold(self, inst):
+        if isinstance(inst, BinaryInst):
+            lhs, rhs = inst.lhs, inst.rhs
+            if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+                if inst.opcode in ("sdiv", "srem", "fdiv") and rhs.value == 0:
+                    return None  # keep the runtime error behaviour
+                value = _apply_binary(inst.opcode, lhs.value, rhs.value,
+                                      inst.type)
+                return Constant(inst.type, value)
+            return None
+        if isinstance(inst, OverflowCheckInst):
+            lhs, rhs = inst.lhs, inst.rhs
+            if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+                raw = {"add": lhs.value + rhs.value,
+                       "sub": lhs.value - rhs.value,
+                       "mul": lhs.value * rhs.value}[inst.checked_opcode]
+                overflow = raw < _INT64_MIN or raw > _INT64_MAX
+                return Constant(inst.type, 1 if overflow else 0)
+            return None
+        if isinstance(inst, CompareInst):
+            lhs, rhs = inst.lhs, inst.rhs
+            if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+                result = _COMPARE_FUNCS[inst.predicate](lhs.value, rhs.value)
+                return Constant(inst.type, 1 if result else 0)
+            return None
+        if isinstance(inst, CastInst):
+            operand = inst.value
+            if isinstance(operand, Constant):
+                if inst.opcode == "sitofp":
+                    return Constant(inst.type, float(operand.value))
+                if inst.opcode == "fptosi":
+                    return Constant(inst.type, int(operand.value))
+                if inst.opcode in ("trunc", "zext", "sext"):
+                    return Constant(inst.type,
+                                    wrap_integer(int(operand.value),
+                                                 inst.type))
+            return None
+        if isinstance(inst, SelectInst):
+            cond = inst.condition
+            if isinstance(cond, Constant):
+                chosen = inst.then_value if cond.value else inst.else_value
+                if isinstance(chosen, Constant):
+                    return Constant(inst.type, chosen.value)
+                return None
+        return None

@@ -1,0 +1,104 @@
+"""Common subexpression elimination.
+
+Pure instructions (arithmetic, comparisons, casts, selects, geps, calls to
+side-effect-free externs) that compute the same expression as an earlier
+instruction in a dominating position are replaced by the earlier value.
+
+The implementation performs dominator-tree scoped value numbering: walking
+the dominator tree top-down, an expression table maps structural keys to the
+first value computing them; entries added in a subtree are popped when the
+walk leaves it.
+"""
+
+from __future__ import annotations
+
+from ..ir.analysis import compute_dominator_tree, reverse_postorder
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    CastInst,
+    CompareInst,
+    GEPInst,
+    OverflowCheckInst,
+    SelectInst,
+    CallInst,
+)
+from ..ir.values import Constant, Value, replace_all_uses
+
+
+def _operand_key(value: Value):
+    if isinstance(value, Constant):
+        if value.type.is_pointer:
+            return ("const-ptr", id(value.value))
+        return ("const", value.type.name, value.value)
+    return ("val", value.uid)
+
+
+def _expression_key(inst):
+    if isinstance(inst, BinaryInst):
+        key = [inst.opcode]
+        operands = [_operand_key(inst.lhs), _operand_key(inst.rhs)]
+        if inst.opcode in ("add", "mul", "fadd", "fmul", "and", "or", "xor",
+                           "smin", "smax", "fmin", "fmax"):
+            operands.sort()  # commutative
+        return tuple(key + operands)
+    if isinstance(inst, OverflowCheckInst):
+        return ("ovf", inst.checked_opcode, _operand_key(inst.lhs),
+                _operand_key(inst.rhs))
+    if isinstance(inst, CompareInst):
+        return (inst.opcode, inst.predicate, _operand_key(inst.lhs),
+                _operand_key(inst.rhs))
+    if isinstance(inst, CastInst):
+        return (inst.opcode, inst.type.name, _operand_key(inst.value))
+    if isinstance(inst, SelectInst):
+        return ("select", _operand_key(inst.condition),
+                _operand_key(inst.then_value), _operand_key(inst.else_value))
+    if isinstance(inst, GEPInst):
+        return ("gep", _operand_key(inst.base), _operand_key(inst.index))
+    if isinstance(inst, CallInst) and not inst.has_side_effects:
+        return tuple(["call", inst.callee.name]
+                     + [_operand_key(a) for a in inst.args])
+    return None
+
+
+class CommonSubexpressionEliminationPass:
+    """Dominator-scoped value numbering."""
+
+    name = "cse"
+
+    def run(self, function: Function) -> bool:
+        order = reverse_postorder(function)
+        if not order:
+            return False
+        dom_tree = compute_dominator_tree(function, order)
+        changed = False
+        table: dict = {}
+
+        # Iterative dominator-tree DFS with scope markers.
+        entry = order[0]
+        stack: list[tuple] = [("visit", entry)]
+        scopes: list[list] = []
+        while stack:
+            action, block = stack.pop()
+            if action == "leave":
+                for key in scopes.pop():
+                    table.pop(key, None)
+                continue
+            added: list = []
+            scopes.append(added)
+            stack.append(("leave", block))
+            for inst in list(block.instructions):
+                key = _expression_key(inst)
+                if key is None:
+                    continue
+                existing = table.get(key)
+                if existing is not None:
+                    replace_all_uses(function, inst, existing)
+                    block.instructions.remove(inst)
+                    changed = True
+                else:
+                    table[key] = inst
+                    added.append(key)
+            for child in reversed(dom_tree.children[id(block)]):
+                stack.append(("visit", child))
+        return changed

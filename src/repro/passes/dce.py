@@ -1,0 +1,45 @@
+"""Dead code elimination: drop pure instructions whose results are unused."""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import PhiInst
+from ..ir.values import Instruction
+
+
+class DeadCodeEliminationPass:
+    """Aggressively removes unused pure instructions (iterates to fixpoint)."""
+
+    name = "dce"
+
+    def run(self, function: Function) -> bool:
+        changed_any = False
+        while True:
+            used: set[int] = set()
+            for block in function.blocks:
+                for inst in block.instructions:
+                    operands = (inst.value_operands()
+                                if not isinstance(inst, PhiInst)
+                                else [v for v, _ in inst.incoming])
+                    for operand in operands:
+                        if isinstance(operand, Instruction):
+                            used.add(operand.uid)
+
+            removed = False
+            for block in function.blocks:
+                keep = []
+                for inst in block.instructions:
+                    is_dead = (inst.has_result
+                               and inst.uid not in used
+                               and not inst.has_side_effects
+                               and not inst.is_terminator)
+                    if is_dead:
+                        removed = True
+                    else:
+                        keep.append(inst)
+                if len(keep) != len(block.instructions):
+                    block.instructions = keep
+            if not removed:
+                break
+            changed_any = True
+        return changed_any

@@ -1,0 +1,95 @@
+"""Pass manager: runs a pipeline of function passes over a module."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..ir.function import Function, Module
+
+
+class FunctionPass(Protocol):
+    """A transformation applied to one function at a time."""
+
+    name: str
+
+    def run(self, function: Function) -> bool:
+        """Transform ``function`` in place; return True if anything changed."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class PassStats:
+    """Statistics collected while running a pass pipeline."""
+
+    per_pass_seconds: dict[str, float] = field(default_factory=dict)
+    per_pass_changes: dict[str, int] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    instructions_before: int = 0
+    instructions_after: int = 0
+
+    @property
+    def instructions_removed(self) -> int:
+        return self.instructions_before - self.instructions_after
+
+
+class PassManager:
+    """Runs an ordered list of function passes, optionally until fixpoint."""
+
+    def __init__(self, passes: list[FunctionPass], max_iterations: int = 2):
+        self.passes = passes
+        self.max_iterations = max_iterations
+
+    def run_function(self, function: Function) -> PassStats:
+        stats = PassStats(instructions_before=function.instruction_count())
+        start = time.perf_counter()
+        for _ in range(self.max_iterations):
+            changed = False
+            for pass_ in self.passes:
+                pass_start = time.perf_counter()
+                pass_changed = pass_.run(function)
+                elapsed = time.perf_counter() - pass_start
+                stats.per_pass_seconds[pass_.name] = (
+                    stats.per_pass_seconds.get(pass_.name, 0.0) + elapsed)
+                if pass_changed:
+                    stats.per_pass_changes[pass_.name] = (
+                        stats.per_pass_changes.get(pass_.name, 0) + 1)
+                    changed = True
+            if not changed:
+                break
+        stats.total_seconds = time.perf_counter() - start
+        stats.instructions_after = function.instruction_count()
+        return stats
+
+    def run_module(self, module: Module) -> PassStats:
+        total = PassStats()
+        for function in module.functions.values():
+            stats = self.run_function(function)
+            total.instructions_before += stats.instructions_before
+            total.instructions_after += stats.instructions_after
+            total.total_seconds += stats.total_seconds
+            for name, seconds in stats.per_pass_seconds.items():
+                total.per_pass_seconds[name] = (
+                    total.per_pass_seconds.get(name, 0.0) + seconds)
+            for name, changes in stats.per_pass_changes.items():
+                total.per_pass_changes[name] = (
+                    total.per_pass_changes.get(name, 0) + changes)
+        return total
+
+
+def default_pipeline() -> PassManager:
+    """The optimized tier's pass pipeline (mirrors the paper's pass list)."""
+    from .constant_folding import ConstantFoldingPass
+    from .cse import CommonSubexpressionEliminationPass
+    from .dce import DeadCodeEliminationPass
+    from .peephole import PeepholePass
+    from .simplify_cfg import SimplifyCFGPass
+
+    return PassManager([
+        ConstantFoldingPass(),
+        PeepholePass(),
+        CommonSubexpressionEliminationPass(),
+        SimplifyCFGPass(),
+        DeadCodeEliminationPass(),
+    ])

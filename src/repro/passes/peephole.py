@@ -1,0 +1,74 @@
+"""Peephole / algebraic simplifications (x+0, x*1, x*0, x-x, ...)."""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import BinaryInst, CompareInst, SelectInst
+from ..ir.values import Constant, Value, replace_all_uses
+
+
+def _is_const(value: Value, literal) -> bool:
+    return isinstance(value, Constant) and value.value == literal
+
+
+class PeepholePass:
+    """Local algebraic identities that LLVM's instcombine would perform."""
+
+    name = "peephole"
+
+    def run(self, function: Function) -> bool:
+        changed = False
+        for block in list(function.blocks):
+            for inst in list(block.instructions):
+                replacement = self._simplify(inst)
+                if replacement is None:
+                    continue
+                replace_all_uses(function, inst, replacement)
+                block.instructions.remove(inst)
+                changed = True
+        return changed
+
+    def _simplify(self, inst):
+        if isinstance(inst, BinaryInst):
+            lhs, rhs = inst.lhs, inst.rhs
+            opcode = inst.opcode
+            if opcode in ("add", "fadd", "or", "xor"):
+                if _is_const(rhs, 0):
+                    return lhs
+                if _is_const(lhs, 0):
+                    return rhs
+            if opcode in ("sub", "fsub") and _is_const(rhs, 0):
+                return lhs
+            if opcode in ("mul", "fmul"):
+                if _is_const(rhs, 1):
+                    return lhs
+                if _is_const(lhs, 1):
+                    return rhs
+                if _is_const(rhs, 0) or _is_const(lhs, 0):
+                    return Constant(inst.type, 0)
+            if opcode == "sdiv" and _is_const(rhs, 1):
+                return lhs
+            if opcode == "and":
+                if _is_const(rhs, 0) or _is_const(lhs, 0):
+                    return Constant(inst.type, 0)
+            if opcode in ("sub",) and lhs is rhs:
+                return Constant(inst.type, 0)
+            if opcode in ("xor",) and lhs is rhs:
+                return Constant(inst.type, 0)
+            if opcode in ("and", "or", "smin", "smax") and lhs is rhs:
+                return lhs
+            return None
+        if isinstance(inst, CompareInst):
+            if inst.lhs is inst.rhs:
+                if inst.predicate in ("eq", "le", "ge"):
+                    return Constant(inst.type, 1)
+                if inst.predicate in ("ne", "lt", "gt"):
+                    return Constant(inst.type, 0)
+            return None
+        if isinstance(inst, SelectInst):
+            if inst.then_value is inst.else_value:
+                return inst.then_value
+            cond = inst.condition
+            if isinstance(cond, Constant):
+                return inst.then_value if cond.value else inst.else_value
+        return None

@@ -1,0 +1,105 @@
+"""CFG simplification: fold constant branches, drop unreachable blocks and
+merge trivial straight-line block chains."""
+
+from __future__ import annotations
+
+from ..ir.analysis import reverse_postorder
+from ..ir.function import Function
+from ..ir.instructions import BranchInst, CondBranchInst, PhiInst
+from ..ir.values import Constant, replace_all_uses
+
+
+class SimplifyCFGPass:
+    """The subset of LLVM's simplifycfg a query compiler benefits from."""
+
+    name = "simplify-cfg"
+
+    def run(self, function: Function) -> bool:
+        changed = False
+        changed |= self._fold_constant_branches(function)
+        changed |= self._remove_unreachable_blocks(function)
+        changed |= self._merge_linear_chains(function)
+        return changed
+
+    # ------------------------------------------------------------------ #
+    def _fold_constant_branches(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            term = block.terminator
+            if not isinstance(term, CondBranchInst):
+                continue
+            cond = term.condition
+            if not isinstance(cond, Constant):
+                continue
+            taken = term.true_target if cond.value else term.false_target
+            not_taken = term.false_target if cond.value else term.true_target
+            block.instructions.pop()  # remove the condbr
+            block.instructions.append(BranchInst(taken))
+            block.instructions[-1].block = block
+            # The edge to the not-taken block disappears: fix its phis.
+            if not_taken is not taken:
+                self._remove_phi_edge(not_taken, block)
+            changed = True
+        return changed
+
+    def _remove_unreachable_blocks(self, function: Function) -> bool:
+        reachable = {id(b) for b in reverse_postorder(function)}
+        dead = [b for b in function.blocks if id(b) not in reachable]
+        if not dead:
+            return False
+        for block in dead:
+            for succ in block.successors():
+                if id(succ) in reachable:
+                    self._remove_phi_edge(succ, block)
+            function.blocks.remove(block)
+        return True
+
+    def _merge_linear_chains(self, function: Function) -> bool:
+        """Merge B into A when A->B is A's only exit and B's only entry."""
+        changed = False
+        merged = True
+        while merged:
+            merged = False
+            preds = function.predecessors()
+            for block in list(function.blocks):
+                term = block.terminator
+                if not isinstance(term, BranchInst):
+                    continue
+                succ = term.target
+                if succ is block or succ is function.entry_block:
+                    continue
+                if len(preds[succ]) != 1:
+                    continue
+                if succ.phis():
+                    # Single-predecessor phis are trivial: forward their value.
+                    for phi in succ.phis():
+                        replace_all_uses(function, phi,
+                                         phi.incoming_for(block))
+                        succ.instructions.remove(phi)
+                # Splice the successor into this block.
+                block.instructions.pop()  # drop the br
+                for inst in succ.instructions:
+                    inst.block = block
+                    block.instructions.append(inst)
+                # Successor blocks of succ may have phis referencing succ.
+                for after in succ.successors():
+                    for phi in after.phis():
+                        phi.incoming = [
+                            (value, block if pred is succ else pred)
+                            for value, pred in phi.incoming
+                        ]
+                function.blocks.remove(succ)
+                merged = True
+                changed = True
+                break
+        return changed
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _remove_phi_edge(block, removed_pred) -> None:
+        for phi in block.phis():
+            new_incoming = [(value, pred) for value, pred in phi.incoming
+                            if pred is not removed_pred]
+            if len(new_incoming) != len(phi.incoming):
+                phi.incoming = new_incoming
+                phi.operands = [value for value, _ in new_incoming]

@@ -1,0 +1,35 @@
+"""Logical and physical (pipeline-decomposed) query plans."""
+
+from .logical import (
+    LogicalOperator,
+    LogicalScan,
+    LogicalJoin,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalProject,
+    LogicalSort,
+    LogicalLimit,
+    LogicalDistinct,
+    explain,
+)
+from .physical import (
+    AggregateSpec,
+    AggregateSink,
+    HashBuildSink,
+    OutputSink,
+    PhysFilter,
+    PhysHashProbe,
+    Pipeline,
+    PhysicalPlan,
+    TableSource,
+    IntermediateSource,
+)
+
+__all__ = [
+    "LogicalOperator", "LogicalScan", "LogicalJoin", "LogicalAggregate",
+    "LogicalFilter", "LogicalProject", "LogicalSort", "LogicalLimit",
+    "LogicalDistinct", "explain",
+    "AggregateSpec", "AggregateSink", "HashBuildSink", "OutputSink",
+    "PhysFilter", "PhysHashProbe", "Pipeline", "PhysicalPlan",
+    "TableSource", "IntermediateSource",
+]

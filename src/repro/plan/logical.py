@@ -1,0 +1,171 @@
+"""Logical plan operators.
+
+The logical plan is a conventional relational-algebra tree.  The optimizer
+(:mod:`repro.optimizer`) builds it from a :class:`~repro.semantics.BoundQuery`
+after predicate pushdown and join ordering; the physical planner decomposes
+it into pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..semantics.expressions import (
+    AggregateExpr,
+    ColumnExpr,
+    TypedExpression,
+)
+
+
+class LogicalOperator:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> list["LogicalOperator"]:
+        return []
+
+    def estimated_rows(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class LogicalScan(LogicalOperator):
+    """Scan of a base table binding with pushed-down filters."""
+
+    binding: str
+    table_name: str
+    filters: list[TypedExpression] = field(default_factory=list)
+    cardinality: float = 0.0
+
+    def estimated_rows(self) -> float:
+        return self.cardinality
+
+
+@dataclass
+class LogicalJoin(LogicalOperator):
+    """Inner hash join; the right child is always the build side."""
+
+    left: LogicalOperator
+    right: LogicalOperator
+    #: Equi-join key pairs: (probe-side expression, build-side expression).
+    keys: list[tuple[TypedExpression, TypedExpression]]
+    #: Non-equi residual predicates evaluated after the join.
+    residual: list[TypedExpression] = field(default_factory=list)
+    cardinality: float = 0.0
+
+    def children(self):
+        return [self.left, self.right]
+
+    def estimated_rows(self) -> float:
+        return self.cardinality
+
+
+@dataclass
+class LogicalFilter(LogicalOperator):
+    """A filter that could not be pushed into a scan (multi-table residual)."""
+
+    child: LogicalOperator
+    predicates: list[TypedExpression]
+
+    def children(self):
+        return [self.child]
+
+    def estimated_rows(self) -> float:
+        return self.child.estimated_rows() * 0.5
+
+
+@dataclass
+class LogicalAggregate(LogicalOperator):
+    """Hash aggregation with optional grouping."""
+
+    child: LogicalOperator
+    group_by: list[TypedExpression]
+    aggregates: list[AggregateExpr]
+    having: Optional[TypedExpression] = None
+    cardinality: float = 0.0
+
+    def children(self):
+        return [self.child]
+
+    def estimated_rows(self) -> float:
+        return self.cardinality
+
+
+@dataclass
+class LogicalProject(LogicalOperator):
+    """Final projection to the query's output columns."""
+
+    child: LogicalOperator
+    columns: list[tuple[str, TypedExpression]]
+
+    def children(self):
+        return [self.child]
+
+    def estimated_rows(self) -> float:
+        return self.child.estimated_rows()
+
+
+@dataclass
+class LogicalDistinct(LogicalOperator):
+    child: LogicalOperator
+
+    def children(self):
+        return [self.child]
+
+    def estimated_rows(self) -> float:
+        return self.child.estimated_rows() * 0.9
+
+
+@dataclass
+class LogicalSort(LogicalOperator):
+    child: LogicalOperator
+    keys: list[tuple[TypedExpression, bool]]
+
+    def children(self):
+        return [self.child]
+
+    def estimated_rows(self) -> float:
+        return self.child.estimated_rows()
+
+
+@dataclass
+class LogicalLimit(LogicalOperator):
+    child: LogicalOperator
+    limit: int
+
+    def children(self):
+        return [self.child]
+
+    def estimated_rows(self) -> float:
+        return min(self.child.estimated_rows(), self.limit)
+
+
+def explain(operator: LogicalOperator, indent: int = 0) -> str:
+    """Render a logical plan as an indented text tree."""
+    pad = "  " * indent
+    if isinstance(operator, LogicalScan):
+        filters = f" filters={len(operator.filters)}" if operator.filters else ""
+        line = (f"{pad}Scan {operator.table_name} as {operator.binding}"
+                f"{filters} (~{operator.cardinality:.0f} rows)")
+    elif isinstance(operator, LogicalJoin):
+        keys = ", ".join(f"{p.key()}={b.key()}" for p, b in operator.keys)
+        line = f"{pad}HashJoin [{keys}] (~{operator.cardinality:.0f} rows)"
+    elif isinstance(operator, LogicalFilter):
+        line = f"{pad}Filter ({len(operator.predicates)} predicates)"
+    elif isinstance(operator, LogicalAggregate):
+        line = (f"{pad}Aggregate group_by={len(operator.group_by)} "
+                f"aggs={len(operator.aggregates)}")
+    elif isinstance(operator, LogicalProject):
+        line = f"{pad}Project [{', '.join(name for name, _ in operator.columns)}]"
+    elif isinstance(operator, LogicalSort):
+        line = f"{pad}Sort ({len(operator.keys)} keys)"
+    elif isinstance(operator, LogicalLimit):
+        line = f"{pad}Limit {operator.limit}"
+    elif isinstance(operator, LogicalDistinct):
+        line = f"{pad}Distinct"
+    else:
+        line = f"{pad}{type(operator).__name__}"
+    parts = [line]
+    for child in operator.children():
+        parts.append(explain(child, indent + 1))
+    return "\n".join(parts)

@@ -1,0 +1,182 @@
+"""Physical, pipeline-decomposed query plans.
+
+A query becomes an ordered list of :class:`Pipeline` objects (paper Fig. 4):
+every pipeline scans one source relation morsel by morsel, pushes each row
+through a chain of streaming operators (filters and hash-table probes) and
+feeds a sink (hash-table build, aggregation or result output).  The order of
+the list respects the dependencies: a pipeline that probes a hash table runs
+after the pipeline that built it; a pipeline that scans an aggregation's
+output runs after the aggregating pipeline.
+
+The code generator turns every pipeline into exactly one IR worker function
+``workerN(state, morsel_begin, morsel_end)``, which is what the adaptive
+execution framework schedules, monitors and recompiles (paper Section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..catalog import Table
+from ..semantics.expressions import ColumnExpr, TypedExpression
+from ..types import SQLType
+
+
+# --------------------------------------------------------------------------- #
+# sources
+# --------------------------------------------------------------------------- #
+@dataclass
+class TableSource:
+    """Pipeline source: a base table."""
+
+    source_id: int
+    binding: str
+    table: Table
+
+    @property
+    def name(self) -> str:
+        return f"{self.table.name} ({self.binding})"
+
+    def column_names(self) -> list[str]:
+        return self.table.schema.column_names()
+
+
+@dataclass
+class IntermediateSource:
+    """Pipeline source: the materialised output of an earlier pipeline."""
+
+    source_id: int
+    name: str
+    binding: str
+    columns: list[tuple[str, SQLType]]
+
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+
+Source = Union[TableSource, IntermediateSource]
+
+
+# --------------------------------------------------------------------------- #
+# streaming operators
+# --------------------------------------------------------------------------- #
+@dataclass
+class PhysFilter:
+    """Drop rows for which the predicate evaluates to false."""
+
+    predicate: TypedExpression
+
+
+@dataclass
+class PhysHashProbe:
+    """Probe a hash table built by an earlier pipeline.
+
+    ``probe_keys`` are evaluated against the current row; matching build-side
+    rows contribute their ``payload_columns`` (columns of the build binding
+    that later operators or the sink still need).  Inner-join semantics: a
+    row without matches is dropped, a row with several matches fans out.
+    """
+
+    join_id: int
+    probe_keys: list[TypedExpression]
+    build_binding: str
+    payload_columns: list[ColumnExpr]
+    #: residual non-equi predicates checked per match
+    residual: list[TypedExpression] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# sinks
+# --------------------------------------------------------------------------- #
+@dataclass
+class HashBuildSink:
+    """Insert every surviving row into a join hash table."""
+
+    join_id: int
+    build_keys: list[TypedExpression]
+    payload_columns: list[ColumnExpr]
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate computed by an :class:`AggregateSink`."""
+
+    function: str                      # sum | count | avg | min | max
+    argument: Optional[TypedExpression]
+    result_type: SQLType
+
+
+@dataclass
+class AggregateSink:
+    """Hash aggregation; its result materialises as an intermediate source."""
+
+    agg_id: int
+    group_by: list[TypedExpression]
+    aggregates: list[AggregateSpec]
+    intermediate: IntermediateSource
+
+
+@dataclass
+class OutputSink:
+    """Collect result rows; ordering / limit / distinct run in the finish step."""
+
+    output: list[tuple[str, TypedExpression]]
+    order_by: list[tuple[TypedExpression, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+Sink = Union[HashBuildSink, AggregateSink, OutputSink]
+
+
+# --------------------------------------------------------------------------- #
+# pipelines
+# --------------------------------------------------------------------------- #
+@dataclass
+class Pipeline:
+    """One pipeline: source -> streaming operators -> sink."""
+
+    pipeline_id: int
+    source: Source
+    operators: list[Union[PhysFilter, PhysHashProbe]]
+    sink: Sink
+    estimated_rows: float = 0.0
+    label: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.label or f"pipeline{self.pipeline_id}"
+
+    def describe(self) -> str:
+        parts = [f"scan {self.source.name if isinstance(self.source, TableSource) else self.source.name}"]
+        for operator in self.operators:
+            if isinstance(operator, PhysFilter):
+                parts.append("filter")
+            else:
+                parts.append(f"probe HT{operator.join_id}")
+        sink = self.sink
+        if isinstance(sink, HashBuildSink):
+            parts.append(f"build HT{sink.join_id}")
+        elif isinstance(sink, AggregateSink):
+            parts.append(f"aggregate #{sink.agg_id}")
+        else:
+            parts.append("output")
+        return " -> ".join(parts)
+
+
+@dataclass
+class PhysicalPlan:
+    """The full pipeline-decomposed plan of one query."""
+
+    pipelines: list[Pipeline]
+    output_columns: list[tuple[str, SQLType]]
+    #: Map source_id -> TableSource for every base table scanned.
+    table_sources: dict[int, TableSource] = field(default_factory=dict)
+    #: Map source_id -> IntermediateSource for every materialised intermediate.
+    intermediate_sources: dict[int, IntermediateSource] = field(
+        default_factory=dict)
+
+    def describe(self) -> str:
+        return "\n".join(f"P{p.pipeline_id}: {p.describe()}"
+                         for p in self.pipelines)

@@ -1,0 +1,32 @@
+"""Semantic analysis: name resolution, type checking, typed expressions."""
+
+from .expressions import (
+    TypedExpression,
+    ColumnExpr,
+    LiteralExpr,
+    ArithmeticExpr,
+    ComparisonExpr,
+    LogicalExpr,
+    NotExpr,
+    BetweenExpr,
+    InListExpr,
+    LikeExpr,
+    CaseExpr,
+    ExtractExpr,
+    CastExpr,
+    AggregateExpr,
+    AGGREGATE_FUNCTIONS,
+    collect_aggregates,
+    collect_columns,
+    expressions_equal,
+)
+from .binder import Binder, BoundQuery, TableBinding, OutputColumn
+
+__all__ = [
+    "TypedExpression", "ColumnExpr", "LiteralExpr", "ArithmeticExpr",
+    "ComparisonExpr", "LogicalExpr", "NotExpr", "BetweenExpr", "InListExpr",
+    "LikeExpr", "CaseExpr", "ExtractExpr", "CastExpr", "AggregateExpr",
+    "AGGREGATE_FUNCTIONS", "collect_aggregates", "collect_columns",
+    "expressions_equal",
+    "Binder", "BoundQuery", "TableBinding", "OutputColumn",
+]

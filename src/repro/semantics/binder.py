@@ -1,0 +1,549 @@
+"""The binder: turns a parsed AST into a typed, name-resolved BoundQuery."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..catalog import Catalog, Table
+from ..errors import BindError
+from ..sqlparser import ast_nodes as ast
+from ..types import (
+    SQLType,
+    date_to_days,
+    decimal_to_scaled,
+    scaled_to_decimal,
+)
+from .expressions import (
+    AGGREGATE_FUNCTIONS,
+    AggregateExpr,
+    ArithmeticExpr,
+    BetweenExpr,
+    CaseExpr,
+    CastExpr,
+    ColumnExpr,
+    ComparisonExpr,
+    ExtractExpr,
+    InListExpr,
+    LikeExpr,
+    LiteralExpr,
+    LogicalExpr,
+    NotExpr,
+    TypedExpression,
+    collect_aggregates,
+    split_conjuncts,
+)
+
+
+@dataclass
+class TableBinding:
+    """A FROM-clause entry: an alias bound to a catalog table."""
+
+    name: str          # binding name (alias or table name)
+    table: Table
+
+    @property
+    def table_name(self) -> str:
+        return self.table.name
+
+
+@dataclass
+class OutputColumn:
+    """One column of the query result."""
+
+    name: str
+    expr: TypedExpression
+
+    @property
+    def result_type(self) -> SQLType:
+        return self.expr.result_type
+
+
+@dataclass
+class BoundQuery:
+    """The fully resolved query, ready for planning."""
+
+    bindings: list[TableBinding]
+    #: WHERE / JOIN-ON conjuncts, unclassified (the optimizer splits them).
+    predicates: list[TypedExpression]
+    output: list[OutputColumn]
+    group_by: list[TypedExpression] = field(default_factory=list)
+    having: Optional[TypedExpression] = None
+    order_by: list[tuple[TypedExpression, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    @property
+    def has_aggregation(self) -> bool:
+        if self.group_by:
+            return True
+        return any(collect_aggregates(col.expr) for col in self.output)
+
+    def binding(self, name: str) -> TableBinding:
+        for binding in self.bindings:
+            if binding.name == name:
+                return binding
+        raise BindError(f"unknown binding {name!r}")
+
+
+class Binder:
+    """Performs semantic analysis of one SELECT statement."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    def bind(self, statement: ast.SelectStatement) -> BoundQuery:
+        bindings = self._bind_from(statement)
+        scope = _Scope(bindings)
+
+        predicates: list[TypedExpression] = []
+        for join in statement.joins:
+            condition = self._bind_expression(join.condition, scope)
+            self._require_bool(condition, "JOIN condition")
+            predicates.extend(split_conjuncts(condition))
+        if statement.where is not None:
+            where = self._bind_expression(statement.where, scope)
+            self._require_bool(where, "WHERE clause")
+            predicates.extend(split_conjuncts(where))
+        for predicate in predicates:
+            if collect_aggregates(predicate):
+                raise BindError("aggregates are not allowed in WHERE/ON")
+
+        output = self._bind_select_list(statement, scope)
+        group_by = [self._bind_expression(expr, scope)
+                    for expr in statement.group_by]
+        # Allow GROUP BY on select aliases / positions.
+        group_by = [self._resolve_group_key(expr, raw, output)
+                    for expr, raw in zip(group_by, statement.group_by)]
+
+        having = None
+        if statement.having is not None:
+            having = self._bind_expression(statement.having, scope)
+            self._require_bool(having, "HAVING clause")
+
+        order_by = []
+        for item in statement.order_by:
+            order_by.append((self._bind_order_key(item.expr, scope, output),
+                             item.ascending))
+
+        bound = BoundQuery(
+            bindings=bindings,
+            predicates=predicates,
+            output=output,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=statement.limit,
+            distinct=statement.distinct,
+        )
+        self._validate_aggregation(bound)
+        return bound
+
+    # ------------------------------------------------------------------ #
+    # FROM clause
+    # ------------------------------------------------------------------ #
+    def _bind_from(self, statement: ast.SelectStatement) -> list[TableBinding]:
+        refs = list(statement.from_tables) + [j.table for j in statement.joins]
+        if not refs:
+            raise BindError("queries without a FROM clause are not supported")
+        for join in statement.joins:
+            if join.kind != "inner":
+                raise BindError("only INNER JOIN is supported")
+        bindings: list[TableBinding] = []
+        seen: set[str] = set()
+        for ref in refs:
+            if not self.catalog.has_table(ref.table):
+                raise BindError(f"table {ref.table!r} does not exist")
+            name = (ref.alias or ref.table).lower()
+            if name in seen:
+                raise BindError(f"duplicate table binding {name!r}")
+            seen.add(name)
+            bindings.append(TableBinding(name=name,
+                                         table=self.catalog.table(ref.table)))
+        return bindings
+
+    # ------------------------------------------------------------------ #
+    # SELECT list
+    # ------------------------------------------------------------------ #
+    def _bind_select_list(self, statement: ast.SelectStatement,
+                          scope: "_Scope") -> list[OutputColumn]:
+        output: list[OutputColumn] = []
+        for item in statement.select_items:
+            if item.is_star:
+                for binding in scope.bindings:
+                    for column in binding.table.schema.columns:
+                        expr = scope.column(binding.name, column.name)
+                        output.append(OutputColumn(name=column.name, expr=expr))
+                continue
+            expr = self._bind_expression(item.expr, scope)
+            name = item.alias or _default_output_name(item.expr, len(output))
+            output.append(OutputColumn(name=name, expr=expr))
+        if not output:
+            raise BindError("empty SELECT list")
+        return output
+
+    def _resolve_group_key(self, bound: TypedExpression, raw: ast.Expression,
+                           output: list[OutputColumn]) -> TypedExpression:
+        """Resolve GROUP BY entries given as output aliases or positions."""
+        if isinstance(raw, ast.Literal) and raw.kind == "int":
+            index = int(raw.value) - 1
+            if not 0 <= index < len(output):
+                raise BindError(f"GROUP BY position {raw.value} out of range")
+            return output[index].expr
+        return bound
+
+    def _bind_order_key(self, raw: ast.Expression, scope: "_Scope",
+                        output: list[OutputColumn]) -> TypedExpression:
+        if isinstance(raw, ast.Literal) and raw.kind == "int":
+            index = int(raw.value) - 1
+            if not 0 <= index < len(output):
+                raise BindError(f"ORDER BY position {raw.value} out of range")
+            return output[index].expr
+        if isinstance(raw, ast.ColumnRef) and raw.table is None:
+            for column in output:
+                if column.name == raw.name:
+                    return column.expr
+        return self._bind_expression(raw, scope)
+
+    def _validate_aggregation(self, bound: BoundQuery) -> None:
+        if not bound.has_aggregation:
+            if bound.having is not None:
+                raise BindError("HAVING requires GROUP BY or aggregates")
+            return
+        group_keys = {expr.key() for expr in bound.group_by}
+        for column in bound.output:
+            self._check_aggregated_expr(column.expr, group_keys, column.name)
+        if bound.having is not None:
+            self._check_aggregated_expr(bound.having, group_keys, "HAVING")
+        for expr, _ in bound.order_by:
+            self._check_aggregated_expr(expr, group_keys, "ORDER BY")
+
+    def _check_aggregated_expr(self, expr: TypedExpression,
+                               group_keys: set, context: str) -> None:
+        """Every column used outside an aggregate must be a group key."""
+        if expr.key() in group_keys or isinstance(expr, AggregateExpr):
+            return
+        if isinstance(expr, ColumnExpr):
+            raise BindError(
+                f"column {expr.binding}.{expr.column} in {context} must "
+                f"appear in GROUP BY or inside an aggregate")
+        for child in expr.children():
+            self._check_aggregated_expr(child, group_keys, context)
+
+    # ------------------------------------------------------------------ #
+    # expressions
+    # ------------------------------------------------------------------ #
+    def _require_bool(self, expr: TypedExpression, context: str) -> None:
+        if expr.result_type is not SQLType.BOOL:
+            raise BindError(f"{context} must be a boolean expression")
+
+    def _bind_expression(self, node: ast.Expression,
+                         scope: "_Scope") -> TypedExpression:
+        if isinstance(node, ast.Literal):
+            return _bind_literal(node)
+        if isinstance(node, ast.ColumnRef):
+            return scope.resolve(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._bind_unary(node, scope)
+        if isinstance(node, ast.BinaryOp):
+            return self._bind_binary(node, scope)
+        if isinstance(node, ast.Between):
+            expr = self._bind_expression(node.expr, scope)
+            low = self._coerce(self._bind_expression(node.low, scope), expr)
+            high = self._coerce(self._bind_expression(node.high, scope), expr)
+            return BetweenExpr(expr=expr, low=low, high=high,
+                               negated=node.negated)
+        if isinstance(node, ast.InList):
+            expr = self._bind_expression(node.expr, scope)
+            values = [self._coerce(self._bind_expression(v, scope), expr)
+                      for v in node.values]
+            return InListExpr(expr=expr, values=values, negated=node.negated)
+        if isinstance(node, ast.Like):
+            expr = self._bind_expression(node.expr, scope)
+            if expr.result_type is not SQLType.STRING:
+                raise BindError("LIKE requires a string operand")
+            return LikeExpr(expr=expr, pattern=node.pattern,
+                            negated=node.negated)
+        if isinstance(node, ast.FunctionCall):
+            return self._bind_function(node, scope)
+        if isinstance(node, ast.CaseWhen):
+            return self._bind_case(node, scope)
+        if isinstance(node, ast.Cast):
+            return self._bind_cast(node, scope)
+        if isinstance(node, ast.Extract):
+            operand = self._bind_expression(node.expr, scope)
+            if operand.result_type is not SQLType.DATE:
+                raise BindError("EXTRACT requires a DATE operand")
+            return ExtractExpr(field_name=node.field, operand=operand)
+        if isinstance(node, ast.IntervalLiteral):
+            raise BindError(
+                "INTERVAL literals are only supported in date +/- INTERVAL "
+                "expressions with a literal date")
+        raise BindError(f"unsupported expression node {type(node).__name__}")
+
+    def _bind_unary(self, node: ast.UnaryOp, scope) -> TypedExpression:
+        if node.operator == "not":
+            operand = self._bind_expression(node.operand, scope)
+            self._require_bool(operand, "NOT")
+            return NotExpr(operand)
+        if node.operator == "-":
+            operand = self._bind_expression(node.operand, scope)
+            if isinstance(operand, LiteralExpr):
+                return LiteralExpr(-operand.value, operand.result_type)
+            zero = LiteralExpr(0.0 if operand.result_type is SQLType.FLOAT64
+                               else 0, operand.result_type)
+            return ArithmeticExpr("-", zero, operand, operand.result_type)
+        raise BindError(f"unsupported unary operator {node.operator!r}")
+
+    def _bind_binary(self, node: ast.BinaryOp, scope) -> TypedExpression:
+        if node.operator in ("and", "or"):
+            left = self._bind_expression(node.left, scope)
+            right = self._bind_expression(node.right, scope)
+            self._require_bool(left, node.operator.upper())
+            self._require_bool(right, node.operator.upper())
+            return LogicalExpr(node.operator, [left, right])
+
+        # date +/- interval folding (only with a literal date operand)
+        if node.operator in ("+", "-") and isinstance(node.right,
+                                                      ast.IntervalLiteral):
+            left = self._bind_expression(node.left, scope)
+            if (isinstance(left, LiteralExpr)
+                    and left.result_type is SQLType.DATE):
+                return _shift_date_literal(left, node.right,
+                                           negate=node.operator == "-")
+            raise BindError("INTERVAL arithmetic requires a literal date")
+
+        left = self._bind_expression(node.left, scope)
+        right = self._bind_expression(node.right, scope)
+
+        if node.operator in ("=", "<>", "<", "<=", ">", ">="):
+            left, right = self._coerce_pair(left, right)
+            return ComparisonExpr(node.operator, left, right)
+
+        if node.operator in ("+", "-", "*", "/", "%"):
+            left, right = self._coerce_pair(left, right)
+            result_type = left.result_type
+            if node.operator == "/" and result_type is SQLType.INT64:
+                # SQL integer division keeps integer semantics here.
+                result_type = SQLType.INT64
+            if not result_type.is_numeric and result_type is not SQLType.DATE:
+                raise BindError(
+                    f"operator {node.operator!r} requires numeric operands")
+            if result_type is SQLType.DATE:
+                # date - date yields a day count; date + int yields a date.
+                result_type = (SQLType.INT64 if node.operator == "-"
+                               else SQLType.DATE)
+            return ArithmeticExpr(node.operator, left, right, result_type)
+
+        if node.operator == "||":
+            raise BindError("string concatenation is not supported")
+        raise BindError(f"unsupported binary operator {node.operator!r}")
+
+    def _bind_function(self, node: ast.FunctionCall, scope) -> TypedExpression:
+        name = node.name.lower()
+        if name in AGGREGATE_FUNCTIONS:
+            if node.is_star or not node.args:
+                if name != "count":
+                    raise BindError(f"{name}(*) is not valid")
+                return AggregateExpr("count", None, node.distinct,
+                                     SQLType.INT64)
+            if len(node.args) != 1:
+                raise BindError(f"aggregate {name} takes exactly one argument")
+            argument = self._bind_expression(node.args[0], scope)
+            if name == "count":
+                result_type = SQLType.INT64
+            elif name == "avg":
+                result_type = SQLType.FLOAT64
+            elif name in ("min", "max"):
+                result_type = argument.result_type
+            else:  # sum
+                result_type = (SQLType.INT64
+                               if argument.result_type is SQLType.INT64
+                               else SQLType.FLOAT64)
+            if name in ("sum", "avg") and not argument.result_type.is_numeric:
+                raise BindError(f"{name} requires a numeric argument")
+            return AggregateExpr(name, argument, node.distinct, result_type)
+        if name == "year":
+            if len(node.args) != 1:
+                raise BindError("year() takes exactly one argument")
+            operand = self._bind_expression(node.args[0], scope)
+            if operand.result_type is not SQLType.DATE:
+                raise BindError("year() requires a DATE argument")
+            return ExtractExpr(field_name="year", operand=operand)
+        raise BindError(f"unknown function {node.name!r}")
+
+    def _bind_case(self, node: ast.CaseWhen, scope) -> TypedExpression:
+        branches = []
+        result_type: Optional[SQLType] = None
+        for condition, value in node.branches:
+            bound_cond = self._bind_expression(condition, scope)
+            self._require_bool(bound_cond, "CASE WHEN condition")
+            bound_value = self._bind_expression(value, scope)
+            branches.append((bound_cond, bound_value))
+            result_type = result_type or bound_value.result_type
+        default = (self._bind_expression(node.default, scope)
+                   if node.default is not None else None)
+        if default is None:
+            default = LiteralExpr(
+                0.0 if result_type is SQLType.FLOAT64 else 0, result_type)
+        # Harmonise branch types (int vs float).
+        target = result_type
+        for _, value in branches + [(None, default)]:
+            if value.result_type is SQLType.FLOAT64:
+                target = SQLType.FLOAT64
+        branches = [(c, self._cast_to(v, target)) for c, v in branches]
+        default = self._cast_to(default, target)
+        return CaseExpr(branches=branches, default=default, result_type=target)
+
+    def _bind_cast(self, node: ast.Cast, scope) -> TypedExpression:
+        operand = self._bind_expression(node.expr, scope)
+        target = {"int": SQLType.INT64, "integer": SQLType.INT64,
+                  "bigint": SQLType.INT64, "float": SQLType.FLOAT64,
+                  "double": SQLType.FLOAT64,
+                  "decimal": SQLType.FLOAT64}.get(node.type_name.lower())
+        if target is None:
+            raise BindError(f"unsupported CAST target {node.type_name!r}")
+        return self._cast_to(operand, target)
+
+    # ------------------------------------------------------------------ #
+    # coercion
+    # ------------------------------------------------------------------ #
+    def _cast_to(self, expr: TypedExpression,
+                 target: SQLType) -> TypedExpression:
+        if expr.result_type is target:
+            return expr
+        if isinstance(expr, LiteralExpr):
+            if target is SQLType.FLOAT64:
+                return LiteralExpr(float(expr.value), target)
+            if target is SQLType.INT64:
+                return LiteralExpr(int(expr.value), target)
+        return CastExpr(operand=expr, result_type=target)
+
+    def _coerce(self, value: TypedExpression,
+                reference: TypedExpression) -> TypedExpression:
+        """Coerce ``value`` (usually a literal) to ``reference``'s type."""
+        target = reference.result_type
+        if value.result_type is target:
+            return value
+        if isinstance(value, LiteralExpr):
+            if target is SQLType.DATE and isinstance(value.value, str):
+                return LiteralExpr(date_to_days(value.value), SQLType.DATE)
+            if target is SQLType.FLOAT64:
+                return LiteralExpr(float(value.value), target)
+            if target is SQLType.INT64 and value.result_type is SQLType.FLOAT64:
+                return LiteralExpr(value.value, SQLType.FLOAT64)
+            if target is SQLType.STRING:
+                return LiteralExpr(str(value.value), target)
+        if target is SQLType.FLOAT64 and value.result_type is SQLType.INT64:
+            return CastExpr(operand=value, result_type=SQLType.FLOAT64)
+        return value
+
+    def _coerce_pair(self, left: TypedExpression, right: TypedExpression
+                     ) -> tuple[TypedExpression, TypedExpression]:
+        lt, rt = left.result_type, right.result_type
+        if lt is rt:
+            return left, right
+        # string literal compared against a date column (or vice versa)
+        if lt is SQLType.DATE and rt is SQLType.STRING and \
+                isinstance(right, LiteralExpr):
+            return left, LiteralExpr(date_to_days(right.value), SQLType.DATE)
+        if rt is SQLType.DATE and lt is SQLType.STRING and \
+                isinstance(left, LiteralExpr):
+            return LiteralExpr(date_to_days(left.value), SQLType.DATE), right
+        # int vs float -> float
+        if lt is SQLType.FLOAT64 and rt is SQLType.INT64:
+            return left, self._cast_to(right, SQLType.FLOAT64)
+        if lt is SQLType.INT64 and rt is SQLType.FLOAT64:
+            return self._cast_to(left, SQLType.FLOAT64), right
+        # date vs int (date arithmetic results)
+        if lt is SQLType.DATE and rt is SQLType.INT64:
+            return left, right
+        if lt is SQLType.INT64 and rt is SQLType.DATE:
+            return left, right
+        if SQLType.BOOL in (lt, rt) and {lt, rt} <= {SQLType.BOOL,
+                                                     SQLType.INT64}:
+            return left, right
+        raise BindError(f"cannot compare/combine {lt} with {rt}")
+
+
+# --------------------------------------------------------------------------- #
+# scope and literals
+# --------------------------------------------------------------------------- #
+class _Scope:
+    """Column resolution scope over the FROM-clause bindings."""
+
+    def __init__(self, bindings: list[TableBinding]):
+        self.bindings = bindings
+        self._by_name = {binding.name: binding for binding in bindings}
+
+    def column(self, binding_name: str, column_name: str) -> ColumnExpr:
+        binding = self._by_name[binding_name]
+        column = binding.table.schema.column(column_name)
+        result_type = (SQLType.FLOAT64 if column.sql_type is SQLType.DECIMAL
+                       else column.sql_type)
+        return ColumnExpr(binding=binding_name, column=column.name,
+                          result_type=result_type,
+                          storage_type=column.sql_type)
+
+    def resolve(self, ref: ast.ColumnRef) -> ColumnExpr:
+        if ref.table is not None:
+            binding = self._by_name.get(ref.table.lower())
+            if binding is None:
+                raise BindError(f"unknown table alias {ref.table!r}")
+            if not binding.table.schema.has_column(ref.name):
+                raise BindError(
+                    f"table {binding.table_name!r} has no column {ref.name!r}")
+            return self.column(binding.name, ref.name)
+        matches = [binding for binding in self.bindings
+                   if binding.table.schema.has_column(ref.name)]
+        if not matches:
+            raise BindError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            names = ", ".join(binding.name for binding in matches)
+            raise BindError(f"column {ref.name!r} is ambiguous ({names})")
+        return self.column(matches[0].name, ref.name)
+
+
+def _bind_literal(node: ast.Literal) -> LiteralExpr:
+    if node.kind == "int":
+        return LiteralExpr(int(node.value), SQLType.INT64)
+    if node.kind == "float":
+        return LiteralExpr(float(node.value), SQLType.FLOAT64)
+    if node.kind == "bool":
+        return LiteralExpr(1 if node.value else 0, SQLType.BOOL)
+    if node.kind == "date":
+        return LiteralExpr(date_to_days(node.value), SQLType.DATE)
+    return LiteralExpr(str(node.value), SQLType.STRING)
+
+
+def _shift_date_literal(literal: LiteralExpr, interval: ast.IntervalLiteral,
+                        negate: bool) -> LiteralExpr:
+    from ..types import days_to_date
+
+    amount = -interval.value if negate else interval.value
+    date = days_to_date(literal.value)
+    if interval.unit == "day":
+        shifted = date + _dt.timedelta(days=amount)
+    else:
+        months = amount * (12 if interval.unit == "year" else 1)
+        total = date.year * 12 + (date.month - 1) + months
+        year, month = divmod(total, 12)
+        day = min(date.day, _days_in_month(year, month + 1))
+        shifted = _dt.date(year, month + 1, day)
+    return LiteralExpr(date_to_days(shifted), SQLType.DATE)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    return (_dt.date(year, month + 1, 1) - _dt.date(year, month, 1)).days
+
+
+def _default_output_name(node: ast.Expression, index: int) -> str:
+    if isinstance(node, ast.ColumnRef):
+        return node.name
+    if isinstance(node, ast.FunctionCall):
+        return node.name
+    return f"col{index}"

@@ -1,0 +1,180 @@
+"""Abstract syntax tree produced by the SQL parser.
+
+The nodes carry no type information; semantic analysis
+(:mod:`repro.semantics`) resolves names against the catalog and produces the
+typed expression tree used by the planner and code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+class Expression:
+    """Base class for all expression AST nodes."""
+
+
+@dataclass
+class Literal(Expression):
+    """An integer, float, string or date literal."""
+
+    value: object
+    kind: str  # "int" | "float" | "string" | "date" | "bool"
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A possibly qualified column reference (``alias.column`` or ``column``)."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class UnaryOp(Expression):
+    """``-expr`` or ``NOT expr``."""
+
+    operator: str
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Arithmetic, comparison or logical binary operation."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (inclusive)."""
+
+    expr: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass
+class InList(Expression):
+    """``expr IN (value, ...)``."""
+
+    expr: Expression
+    values: list[Expression]
+    negated: bool = False
+
+
+@dataclass
+class Like(Expression):
+    """``expr LIKE 'pattern'`` with ``%`` and ``_`` wildcards."""
+
+    expr: Expression
+    pattern: str
+    negated: bool = False
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A function or aggregate call, e.g. ``sum(x)`` or ``year(o_orderdate)``."""
+
+    name: str
+    args: list[Expression]
+    distinct: bool = False
+    is_star: bool = False  # count(*)
+
+
+@dataclass
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value [WHEN ...] [ELSE value] END``."""
+
+    branches: list[tuple[Expression, Expression]]
+    default: Optional[Expression] = None
+
+
+@dataclass
+class Cast(Expression):
+    """``CAST(expr AS type_name)``."""
+
+    expr: Expression
+    type_name: str
+
+
+@dataclass
+class Extract(Expression):
+    """``EXTRACT(field FROM expr)`` -- only YEAR/MONTH/DAY are supported."""
+
+    field: str
+    expr: Expression
+
+
+@dataclass
+class IntervalLiteral(Expression):
+    """``INTERVAL '3' MONTH`` style literal used in date arithmetic."""
+
+    value: int
+    unit: str  # "year" | "month" | "day"
+
+
+# --------------------------------------------------------------------------- #
+# query structure
+# --------------------------------------------------------------------------- #
+@dataclass
+class SelectItem:
+    """One item of the SELECT list."""
+
+    expr: Optional[Expression]
+    alias: Optional[str] = None
+    is_star: bool = False
+
+
+@dataclass
+class TableRef:
+    """A base table reference with an optional alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass
+class Join:
+    """An explicit ``JOIN ... ON`` clause attached to the from-list."""
+
+    table: TableRef
+    condition: Expression
+    kind: str = "inner"
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A full SELECT statement."""
+
+    select_items: list[SelectItem]
+    from_tables: list[TableRef] = field(default_factory=list)
+    joins: list[Join] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False

@@ -1,0 +1,199 @@
+"""SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  The dialect
+is case-insensitive for keywords and identifiers; string literals use single
+quotes with ``''`` as the escape for a quote character.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import LexerError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+#: Reserved words recognised by the parser (everything else is an identifier).
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "as", "and", "or", "not", "in", "between", "like", "is", "null",
+    "join", "inner", "left", "on", "asc", "desc", "case", "when", "then",
+    "else", "end", "date", "interval", "year", "month", "day", "exists",
+    "union", "all", "cast", "substring", "extract", "for", "true", "false",
+}
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<>", "!=", ">=", "<=", "||", "=", "<", ">", "+", "-", "*", "/",
+              "%")
+
+_PUNCTUATION = {"(", ")", ",", ".", ";"}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+    line: int
+    column: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == keyword
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+class Lexer:
+    """Single-pass scanner over SQL text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ #
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            token = self.next_token()
+            yield token
+            if token.type is TokenType.END:
+                return
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.position >= len(self.text):
+            return self._token(TokenType.END, "")
+
+        ch = self.text[self.position]
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._scan_number()
+        if ch == "'":
+            return self._scan_string()
+        if ch.isalpha() or ch == "_":
+            return self._scan_word()
+        for operator in _OPERATORS:
+            if self.text.startswith(operator, self.position):
+                token = self._token(TokenType.OPERATOR, operator)
+                self._advance(len(operator))
+                return token
+        if ch in _PUNCTUATION:
+            token = self._token(TokenType.PUNCTUATION, ch)
+            self._advance(1)
+            return token
+        raise LexerError(f"unexpected character {ch!r}", self.position,
+                         self.line, self.column)
+
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self.position < len(self.text) and self.text[self.position] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.position += 1
+
+    def _token(self, token_type: TokenType, value: str) -> Token:
+        return Token(token_type, value, self.position, self.line, self.column)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.text):
+            ch = self.text[self.position]
+            if ch.isspace():
+                self._advance(1)
+            elif self.text.startswith("--", self.position):
+                while (self.position < len(self.text)
+                       and self.text[self.position] != "\n"):
+                    self._advance(1)
+            elif self.text.startswith("/*", self.position):
+                end = self.text.find("*/", self.position + 2)
+                if end < 0:
+                    raise LexerError("unterminated block comment",
+                                     self.position, self.line, self.column)
+                self._advance(end + 2 - self.position)
+            else:
+                return
+
+    def _scan_number(self) -> Token:
+        start = self.position
+        start_token = self._token(TokenType.INTEGER, "")
+        is_float = False
+        while self.position < len(self.text):
+            ch = self.text[self.position]
+            if ch.isdigit():
+                self._advance(1)
+            elif ch == "." and not is_float:
+                is_float = True
+                self._advance(1)
+            elif ch in "eE" and self._peek(1).isdigit():
+                is_float = True
+                self._advance(2)
+            else:
+                break
+        value = self.text[start:self.position]
+        token_type = TokenType.FLOAT if is_float else TokenType.INTEGER
+        return Token(token_type, value, start_token.position,
+                     start_token.line, start_token.column)
+
+    def _scan_string(self) -> Token:
+        start_token = self._token(TokenType.STRING, "")
+        self._advance(1)  # opening quote
+        parts: list[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise LexerError("unterminated string literal",
+                                 start_token.position, start_token.line,
+                                 start_token.column)
+            ch = self.text[self.position]
+            if ch == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance(1)
+                break
+            parts.append(ch)
+            self._advance(1)
+        return Token(TokenType.STRING, "".join(parts), start_token.position,
+                     start_token.line, start_token.column)
+
+    def _scan_word(self) -> Token:
+        start = self.position
+        start_token = self._token(TokenType.IDENTIFIER, "")
+        while self.position < len(self.text):
+            ch = self.text[self.position]
+            if ch.isalnum() or ch == "_":
+                self._advance(1)
+            else:
+                break
+        word = self.text[start:self.position]
+        lowered = word.lower()
+        if lowered in KEYWORDS:
+            return Token(TokenType.KEYWORD, lowered, start_token.position,
+                         start_token.line, start_token.column)
+        return Token(TokenType.IDENTIFIER, lowered, start_token.position,
+                     start_token.line, start_token.column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text into a list ending with an END token."""
+    return list(Lexer(text).tokens())

@@ -1,0 +1,428 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParserError
+from . import ast_nodes as ast
+from .lexer import Token, TokenType, tokenize
+
+
+class Parser:
+    """Parses one SELECT statement from a token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.END:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> ParserError:
+        token = self.current
+        return ParserError(
+            f"{message} (near {token.value!r}, line {token.line}, "
+            f"column {token.column})")
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self.current.matches_keyword(keyword):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise self._error(f"expected keyword {keyword.upper()}")
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._accept_punct(value):
+            raise self._error(f"expected {value!r}")
+
+    def _accept_operator(self, value: str) -> bool:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_identifier(self) -> str:
+        token = self.current
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value
+        # Allow non-reserved keywords (year/month/day/date) as identifiers.
+        if token.type is TokenType.KEYWORD and token.value in (
+                "year", "month", "day", "date"):
+            self._advance()
+            return token.value
+        raise self._error("expected an identifier")
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+    def parse_statement(self) -> ast.SelectStatement:
+        statement = self._parse_select()
+        self._accept_punct(";")
+        if self.current.type is not TokenType.END:
+            raise self._error("unexpected trailing input")
+        return statement
+
+    # ------------------------------------------------------------------ #
+    # SELECT
+    # ------------------------------------------------------------------ #
+    def _parse_select(self) -> ast.SelectStatement:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        select_items = self._parse_select_list()
+
+        from_tables: list[ast.TableRef] = []
+        joins: list[ast.Join] = []
+        if self._accept_keyword("from"):
+            from_tables, joins = self._parse_from()
+
+        where = None
+        if self._accept_keyword("where"):
+            where = self._parse_expression()
+
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._parse_expression())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expression())
+
+        having = None
+        if self._accept_keyword("having"):
+            having = self._parse_expression()
+
+        order_by: list[ast.OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self.current
+            if token.type is not TokenType.INTEGER:
+                raise self._error("LIMIT expects an integer")
+            limit = int(token.value)
+            self._advance()
+
+        return ast.SelectStatement(
+            select_items=select_items,
+            from_tables=from_tables,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_list(self) -> list[ast.SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self._advance()
+            return ast.SelectItem(expr=None, is_star=True)
+        expr = self._parse_expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr=expr, ascending=ascending)
+
+    # ------------------------------------------------------------------ #
+    # FROM / JOIN
+    # ------------------------------------------------------------------ #
+    def _parse_from(self) -> tuple[list[ast.TableRef], list[ast.Join]]:
+        tables = [self._parse_table_ref()]
+        joins: list[ast.Join] = []
+        while True:
+            if self._accept_punct(","):
+                tables.append(self._parse_table_ref())
+                continue
+            if self.current.matches_keyword("inner") or \
+                    self.current.matches_keyword("join") or \
+                    self.current.matches_keyword("left"):
+                kind = "inner"
+                if self._accept_keyword("left"):
+                    kind = "left"
+                else:
+                    self._accept_keyword("inner")
+                self._expect_keyword("join")
+                table = self._parse_table_ref()
+                self._expect_keyword("on")
+                condition = self._parse_expression()
+                joins.append(ast.Join(table=table, condition=condition,
+                                      kind=kind))
+                continue
+            break
+        return tables, joins
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        table = self._expect_identifier()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return ast.TableRef(table=table, alias=alias)
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            right = self._parse_and()
+            left = ast.BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            right = self._parse_not()
+            left = ast.BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._accept_keyword("not"):
+            return ast.UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+
+        negated = False
+        if self.current.matches_keyword("not"):
+            # NOT BETWEEN / NOT IN / NOT LIKE
+            next_token = self.tokens[self.index + 1]
+            if next_token.type is TokenType.KEYWORD and next_token.value in (
+                    "between", "in", "like"):
+                self._advance()
+                negated = True
+
+        if self._accept_keyword("between"):
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return ast.Between(expr=left, low=low, high=high, negated=negated)
+
+        if self._accept_keyword("in"):
+            self._expect_punct("(")
+            values = [self._parse_expression()]
+            while self._accept_punct(","):
+                values.append(self._parse_expression())
+            self._expect_punct(")")
+            return ast.InList(expr=left, values=values, negated=negated)
+
+        if self._accept_keyword("like"):
+            token = self.current
+            if token.type is not TokenType.STRING:
+                raise self._error("LIKE expects a string literal pattern")
+            self._advance()
+            return ast.Like(expr=left, pattern=token.value, negated=negated)
+
+        for operator in ("=", "<>", "!=", "<=", ">=", "<", ">"):
+            if self._accept_operator(operator):
+                right = self._parse_additive()
+                canonical = "<>" if operator == "!=" else operator
+                return ast.BinaryOp(canonical, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            if self._accept_operator("+"):
+                left = ast.BinaryOp("+", left, self._parse_multiplicative())
+            elif self._accept_operator("-"):
+                left = ast.BinaryOp("-", left, self._parse_multiplicative())
+            elif self._accept_operator("||"):
+                left = ast.BinaryOp("||", left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            if self._accept_operator("*"):
+                left = ast.BinaryOp("*", left, self._parse_unary())
+            elif self._accept_operator("/"):
+                left = ast.BinaryOp("/", left, self._parse_unary())
+            elif self._accept_operator("%"):
+                left = ast.BinaryOp("%", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        if self._accept_operator("-"):
+            return ast.UnaryOp("-", self._parse_unary())
+        if self._accept_operator("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    # ------------------------------------------------------------------ #
+    def _parse_primary(self) -> ast.Expression:
+        token = self.current
+
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return ast.Literal(int(token.value), "int")
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(float(token.value), "float")
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value, "string")
+
+        if token.matches_keyword("true"):
+            self._advance()
+            return ast.Literal(True, "bool")
+        if token.matches_keyword("false"):
+            self._advance()
+            return ast.Literal(False, "bool")
+
+        if token.matches_keyword("date"):
+            # DATE '1995-01-01'
+            self._advance()
+            literal = self.current
+            if literal.type is not TokenType.STRING:
+                raise self._error("DATE expects a string literal")
+            self._advance()
+            return ast.Literal(literal.value, "date")
+
+        if token.matches_keyword("interval"):
+            self._advance()
+            literal = self.current
+            if literal.type not in (TokenType.STRING, TokenType.INTEGER):
+                raise self._error("INTERVAL expects a quoted or integer value")
+            self._advance()
+            unit_token = self.current
+            if unit_token.type is not TokenType.KEYWORD or unit_token.value \
+                    not in ("year", "month", "day"):
+                raise self._error("INTERVAL unit must be YEAR, MONTH or DAY")
+            self._advance()
+            return ast.IntervalLiteral(int(literal.value), unit_token.value)
+
+        if token.matches_keyword("case"):
+            return self._parse_case()
+
+        if token.matches_keyword("cast"):
+            self._advance()
+            self._expect_punct("(")
+            expr = self._parse_expression()
+            self._expect_keyword("as")
+            type_name = self._expect_identifier()
+            self._expect_punct(")")
+            return ast.Cast(expr=expr, type_name=type_name)
+
+        if token.matches_keyword("extract"):
+            self._advance()
+            self._expect_punct("(")
+            field_token = self.current
+            if field_token.type is not TokenType.KEYWORD or \
+                    field_token.value not in ("year", "month", "day"):
+                raise self._error("EXTRACT field must be YEAR, MONTH or DAY")
+            self._advance()
+            self._expect_keyword("from")
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return ast.Extract(field=field_token.value, expr=expr)
+
+        if token.type is TokenType.IDENTIFIER or (
+                token.type is TokenType.KEYWORD
+                and token.value in ("year", "month", "day")):
+            return self._parse_identifier_expression()
+
+        if self._accept_punct("("):
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+
+        raise self._error("expected an expression")
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self._expect_identifier()
+
+        # Function call?
+        if self._accept_punct("("):
+            if (self.current.type is TokenType.OPERATOR
+                    and self.current.value == "*"):
+                self._advance()
+                self._expect_punct(")")
+                return ast.FunctionCall(name=name, args=[], is_star=True)
+            distinct = self._accept_keyword("distinct")
+            args: list[ast.Expression] = []
+            if not self._accept_punct(")"):
+                args.append(self._parse_expression())
+                while self._accept_punct(","):
+                    args.append(self._parse_expression())
+                self._expect_punct(")")
+            return ast.FunctionCall(name=name, args=args, distinct=distinct)
+
+        # Qualified column reference?
+        if self._accept_punct("."):
+            column = self._expect_identifier()
+            return ast.ColumnRef(name=column, table=name)
+        return ast.ColumnRef(name=name)
+
+    def _parse_case(self) -> ast.Expression:
+        self._expect_keyword("case")
+        branches: list[tuple[ast.Expression, ast.Expression]] = []
+        default: Optional[ast.Expression] = None
+        while self._accept_keyword("when"):
+            condition = self._parse_expression()
+            self._expect_keyword("then")
+            value = self._parse_expression()
+            branches.append((condition, value))
+        if self._accept_keyword("else"):
+            default = self._parse_expression()
+        self._expect_keyword("end")
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        return ast.CaseWhen(branches=branches, default=default)
+
+
+def parse(text: str) -> ast.SelectStatement:
+    """Parse one SELECT statement."""
+    return Parser(text).parse_statement()

@@ -1,0 +1,293 @@
+"""The bytecode dispatch loop (paper Fig. 8).
+
+The virtual machine executes a :class:`BytecodeFunction` against a freshly
+allocated register file.  The loop mirrors the paper's C++ switch statement:
+fetch the fixed-length instruction at ``ip``, dispatch on the integer opcode,
+execute one simple statement, continue.  All type dispatch happened at
+translation time, so every handler is branch-free apart from the comparison
+itself.
+
+Semantics notes:
+
+* unchecked integer arithmetic wraps to 64 bits (exactly what machine code
+  does), checked arithmetic raises :class:`repro.errors.OverflowError_`,
+* division by zero raises :class:`repro.errors.DivisionByZeroError`,
+* pointers are ``(buffer, offset)`` pairs; ``load``/``store`` index the
+  buffer, so column scans run directly against the storage arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import DivisionByZeroError, ExecutionError, OverflowError_, VMError
+from .bytecode import BytecodeFunction
+from .opcodes import Opcode
+
+_INT64_MASK = (1 << 64) - 1
+_INT64_SIGN = 1 << 63
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _wrap64(value: int) -> int:
+    value &= _INT64_MASK
+    if value & _INT64_SIGN:
+        value -= 1 << 64
+    return value
+
+
+class VirtualMachine:
+    """Executes translated bytecode functions.
+
+    A single instance is stateless between calls and can be shared by all
+    worker threads; every invocation allocates its own register file.
+    """
+
+    def __init__(self, trace: bool = False):
+        self.trace = trace
+        #: Total number of bytecode instructions executed (for tests/benches).
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, function: BytecodeFunction,
+                args: Sequence[object] = ()) -> Optional[object]:
+        """Run ``function`` with ``args``, returning its result (or None)."""
+        regs = function.make_register_file(args)
+        code = function.code
+        ip = 0
+        executed = 0
+
+        # Hoist every opcode into a local integer: the dispatch loop then
+        # performs plain int comparisons, the Python equivalent of the
+        # paper's jump-table switch.
+        O = Opcode
+        _ADD_CHK_I64 = int(O.ADD_CHK_I64)
+        _ADD_F64 = int(O.ADD_F64)
+        _ADD_I64 = int(O.ADD_I64)
+        _AND_I64 = int(O.AND_I64)
+        _ASHR_I64 = int(O.ASHR_I64)
+        _BR = int(O.BR)
+        _CALL = int(O.CALL)
+        _CALL_VOID = int(O.CALL_VOID)
+        _CONDBR = int(O.CONDBR)
+        _DIV_F64 = int(O.DIV_F64)
+        _FCMP_EQ_F64 = int(O.FCMP_EQ_F64)
+        _FCMP_GE_F64 = int(O.FCMP_GE_F64)
+        _FCMP_GT_F64 = int(O.FCMP_GT_F64)
+        _FCMP_LE_F64 = int(O.FCMP_LE_F64)
+        _FCMP_LT_F64 = int(O.FCMP_LT_F64)
+        _FCMP_NE_F64 = int(O.FCMP_NE_F64)
+        _FMAX_F64 = int(O.FMAX_F64)
+        _FMIN_F64 = int(O.FMIN_F64)
+        _FPTOSI = int(O.FPTOSI)
+        _GEP = int(O.GEP)
+        _ICMP_EQ_I64 = int(O.ICMP_EQ_I64)
+        _ICMP_GE_I64 = int(O.ICMP_GE_I64)
+        _ICMP_GT_I64 = int(O.ICMP_GT_I64)
+        _ICMP_LE_I64 = int(O.ICMP_LE_I64)
+        _ICMP_LT_I64 = int(O.ICMP_LT_I64)
+        _ICMP_NE_I64 = int(O.ICMP_NE_I64)
+        _LOAD = int(O.LOAD)
+        _LOAD_CONST = int(O.LOAD_CONST)
+        _LOAD_IDX = int(O.LOAD_IDX)
+        _MOV = int(O.MOV)
+        _MUL_CHK_I64 = int(O.MUL_CHK_I64)
+        _MUL_F64 = int(O.MUL_F64)
+        _MUL_I64 = int(O.MUL_I64)
+        _OCMP_EQ = int(O.OCMP_EQ)
+        _OCMP_GE = int(O.OCMP_GE)
+        _OCMP_GT = int(O.OCMP_GT)
+        _OCMP_LE = int(O.OCMP_LE)
+        _OCMP_LT = int(O.OCMP_LT)
+        _OCMP_NE = int(O.OCMP_NE)
+        _OR_I64 = int(O.OR_I64)
+        _OVF_ADD_I64 = int(O.OVF_ADD_I64)
+        _OVF_MUL_I64 = int(O.OVF_MUL_I64)
+        _OVF_SUB_I64 = int(O.OVF_SUB_I64)
+        _RET = int(O.RET)
+        _RET_VAL = int(O.RET_VAL)
+        _SDIV_I64 = int(O.SDIV_I64)
+        _SELECT = int(O.SELECT)
+        _SHL_I64 = int(O.SHL_I64)
+        _SITOFP = int(O.SITOFP)
+        _SMAX_I64 = int(O.SMAX_I64)
+        _SMIN_I64 = int(O.SMIN_I64)
+        _SREM_I64 = int(O.SREM_I64)
+        _STORE = int(O.STORE)
+        _STORE_IDX = int(O.STORE_IDX)
+        _SUB_CHK_I64 = int(O.SUB_CHK_I64)
+        _SUB_F64 = int(O.SUB_F64)
+        _SUB_I64 = int(O.SUB_I64)
+        _TRAP = int(O.TRAP)
+        _TRUNC = int(O.TRUNC)
+        _XOR_I64 = int(O.XOR_I64)
+        try:
+            while True:
+                op, a1, a2, a3, lit = code[ip]
+                ip += 1
+                executed += 1
+
+                if op == _ADD_I64:
+                    regs[a1] = _wrap64(regs[a2] + regs[a3])
+                elif op == _LOAD_IDX:
+                    buf, off = regs[a2]
+                    regs[a1] = buf[off + regs[a3]]
+                elif op == _ICMP_LT_I64:
+                    regs[a1] = 1 if regs[a2] < regs[a3] else 0
+                elif op == _CONDBR:
+                    ip = a2 if regs[a1] else a3
+                elif op == _BR:
+                    ip = lit
+                elif op == _MOV:
+                    regs[a1] = regs[a2]
+                elif op == _ADD_F64:
+                    regs[a1] = regs[a2] + regs[a3]
+                elif op == _MUL_F64:
+                    regs[a1] = regs[a2] * regs[a3]
+                elif op == _SUB_F64:
+                    regs[a1] = regs[a2] - regs[a3]
+                elif op == _DIV_F64:
+                    divisor = regs[a3]
+                    if divisor == 0.0:
+                        raise DivisionByZeroError("float division by zero")
+                    regs[a1] = regs[a2] / divisor
+                elif op == _SUB_I64:
+                    regs[a1] = _wrap64(regs[a2] - regs[a3])
+                elif op == _MUL_I64:
+                    regs[a1] = _wrap64(regs[a2] * regs[a3])
+                elif op == _ADD_CHK_I64:
+                    value = regs[a2] + regs[a3]
+                    if value < _INT64_MIN or value > _INT64_MAX:
+                        raise OverflowError_("integer addition overflow")
+                    regs[a1] = value
+                elif op == _SUB_CHK_I64:
+                    value = regs[a2] - regs[a3]
+                    if value < _INT64_MIN or value > _INT64_MAX:
+                        raise OverflowError_("integer subtraction overflow")
+                    regs[a1] = value
+                elif op == _MUL_CHK_I64:
+                    value = regs[a2] * regs[a3]
+                    if value < _INT64_MIN or value > _INT64_MAX:
+                        raise OverflowError_("integer multiplication overflow")
+                    regs[a1] = value
+                elif op == _ICMP_EQ_I64:
+                    regs[a1] = 1 if regs[a2] == regs[a3] else 0
+                elif op == _ICMP_NE_I64:
+                    regs[a1] = 1 if regs[a2] != regs[a3] else 0
+                elif op == _ICMP_LE_I64:
+                    regs[a1] = 1 if regs[a2] <= regs[a3] else 0
+                elif op == _ICMP_GT_I64:
+                    regs[a1] = 1 if regs[a2] > regs[a3] else 0
+                elif op == _ICMP_GE_I64:
+                    regs[a1] = 1 if regs[a2] >= regs[a3] else 0
+                elif op == _CALL:
+                    impl, arg_slots = lit
+                    regs[a1] = impl(*[regs[slot] for slot in arg_slots])
+                elif op == _CALL_VOID:
+                    impl, arg_slots = lit
+                    impl(*[regs[slot] for slot in arg_slots])
+                elif op == _STORE_IDX:
+                    buf, off = regs[a2]
+                    buf[off + regs[a3]] = regs[a1]
+                elif op == _LOAD:
+                    buf, off = regs[a2]
+                    regs[a1] = buf[off]
+                elif op == _STORE:
+                    buf, off = regs[a2]
+                    buf[off] = regs[a1]
+                elif op == _GEP:
+                    buf, off = regs[a2]
+                    regs[a1] = (buf, off + regs[a3])
+                elif op == _SELECT:
+                    regs[a1] = regs[a2] if regs[lit] else regs[a3]
+                elif op == _FCMP_EQ_F64:
+                    regs[a1] = 1 if regs[a2] == regs[a3] else 0
+                elif op == _FCMP_NE_F64:
+                    regs[a1] = 1 if regs[a2] != regs[a3] else 0
+                elif op == _FCMP_LT_F64:
+                    regs[a1] = 1 if regs[a2] < regs[a3] else 0
+                elif op == _FCMP_LE_F64:
+                    regs[a1] = 1 if regs[a2] <= regs[a3] else 0
+                elif op == _FCMP_GT_F64:
+                    regs[a1] = 1 if regs[a2] > regs[a3] else 0
+                elif op == _FCMP_GE_F64:
+                    regs[a1] = 1 if regs[a2] >= regs[a3] else 0
+                elif op == _OCMP_EQ:
+                    regs[a1] = 1 if regs[a2] == regs[a3] else 0
+                elif op == _OCMP_NE:
+                    regs[a1] = 1 if regs[a2] != regs[a3] else 0
+                elif op == _OCMP_LT:
+                    regs[a1] = 1 if regs[a2] < regs[a3] else 0
+                elif op == _OCMP_LE:
+                    regs[a1] = 1 if regs[a2] <= regs[a3] else 0
+                elif op == _OCMP_GT:
+                    regs[a1] = 1 if regs[a2] > regs[a3] else 0
+                elif op == _OCMP_GE:
+                    regs[a1] = 1 if regs[a2] >= regs[a3] else 0
+                elif op == _SDIV_I64:
+                    divisor = regs[a3]
+                    if divisor == 0:
+                        raise DivisionByZeroError("integer division by zero")
+                    quotient = abs(regs[a2]) // abs(divisor)
+                    if (regs[a2] < 0) != (divisor < 0):
+                        quotient = -quotient
+                    regs[a1] = _wrap64(quotient)
+                elif op == _SREM_I64:
+                    divisor = regs[a3]
+                    if divisor == 0:
+                        raise DivisionByZeroError("integer modulo by zero")
+                    remainder = abs(regs[a2]) % abs(divisor)
+                    regs[a1] = -remainder if regs[a2] < 0 else remainder
+                elif op == _AND_I64:
+                    regs[a1] = regs[a2] & regs[a3]
+                elif op == _OR_I64:
+                    regs[a1] = regs[a2] | regs[a3]
+                elif op == _XOR_I64:
+                    regs[a1] = regs[a2] ^ regs[a3]
+                elif op == _SHL_I64:
+                    regs[a1] = _wrap64(regs[a2] << (regs[a3] & 63))
+                elif op == _ASHR_I64:
+                    regs[a1] = regs[a2] >> (regs[a3] & 63)
+                elif op == _SMIN_I64:
+                    regs[a1] = regs[a2] if regs[a2] < regs[a3] else regs[a3]
+                elif op == _SMAX_I64:
+                    regs[a1] = regs[a2] if regs[a2] > regs[a3] else regs[a3]
+                elif op == _FMIN_F64:
+                    regs[a1] = regs[a2] if regs[a2] < regs[a3] else regs[a3]
+                elif op == _FMAX_F64:
+                    regs[a1] = regs[a2] if regs[a2] > regs[a3] else regs[a3]
+                elif op == _OVF_ADD_I64:
+                    value = regs[a2] + regs[a3]
+                    regs[a1] = 1 if (value < _INT64_MIN or value > _INT64_MAX) else 0
+                elif op == _OVF_SUB_I64:
+                    value = regs[a2] - regs[a3]
+                    regs[a1] = 1 if (value < _INT64_MIN or value > _INT64_MAX) else 0
+                elif op == _OVF_MUL_I64:
+                    value = regs[a2] * regs[a3]
+                    regs[a1] = 1 if (value < _INT64_MIN or value > _INT64_MAX) else 0
+                elif op == _SITOFP:
+                    regs[a1] = float(regs[a2])
+                elif op == _FPTOSI:
+                    regs[a1] = int(regs[a2])
+                elif op == _TRUNC:
+                    bits = lit
+                    mask = (1 << bits) - 1
+                    value = regs[a2] & mask
+                    if bits > 1 and value >= (1 << (bits - 1)):
+                        value -= 1 << bits
+                    regs[a1] = value
+                elif op == _LOAD_CONST:
+                    regs[a1] = lit
+                elif op == _RET:
+                    return None
+                elif op == _RET_VAL:
+                    return regs[a1]
+                elif op == _TRAP:
+                    raise ExecutionError(str(lit))
+                else:  # pragma: no cover - defensive
+                    raise VMError(f"unknown opcode {op}")
+        finally:
+            self.instructions_executed += executed

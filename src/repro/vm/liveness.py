@@ -1,0 +1,244 @@
+"""Linear-time liveness computation (paper Section IV-D, Fig. 10-12).
+
+The classic per-block dataflow formulation of liveness is super-linear in the
+number of basic blocks, which the paper shows is unacceptable for the very
+large functions machine-generated queries produce.  This module implements
+the paper's alternative:
+
+1. label all basic blocks in reverse postorder,
+2. build the dominator tree and number it with pre-/post-order intervals so
+   ancestor checks are O(1),
+3. mark the function entry and the target of every back edge as loop heads
+   and associate each block with its innermost loop (union-find with path
+   compression),
+4. represent the liveness of each value as a single live *range* -- an
+   interval of reverse-postorder block labels -- extended to the enclosing
+   loop whenever a definition or use sits inside a loop that does not contain
+   all the other uses.
+
+The result intentionally over-approximates liveness for complex control flow
+(the paper accepts a slightly longer lifetime in exchange for the linear
+bound), but it is always *safe*: every block on any path between the
+definition and a use lies within the computed range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import VMError
+from ..ir.analysis import LoopInfo, find_loops
+from ..ir.function import Function
+from ..ir.instructions import PhiInst
+from ..ir.values import Argument, Constant, Instruction, Undef, Value
+
+
+@dataclass
+class LiveRange:
+    """The live range of one SSA value, in reverse-postorder block indices.
+
+    ``def_position`` and ``last_use_position`` give instruction indices within
+    the start/end blocks and are only meaningful when the range covers a
+    single block; they allow the register allocator to reuse slots within a
+    block (the common case the paper mentions: allocate on demand, release
+    when the last user is gone).
+    """
+
+    value: Value
+    start_block: int
+    end_block: int
+    def_position: int
+    last_use_position: int
+    crosses_blocks: bool
+
+    @property
+    def single_block(self) -> bool:
+        return not self.crosses_blocks
+
+    def overlaps(self, other: "LiveRange") -> bool:
+        """Whether two ranges can be live at the same time (block level)."""
+        return not (self.end_block < other.start_block
+                    or other.end_block < self.start_block)
+
+
+def compute_live_ranges(function: Function,
+                        loop_info: Optional[LoopInfo] = None
+                        ) -> tuple[Dict[int, LiveRange], LoopInfo]:
+    """Compute a live range for every value produced in ``function``.
+
+    Returns ``(ranges, loop_info)`` where ``ranges`` maps ``value.uid`` to its
+    :class:`LiveRange`.  Function arguments get a range starting at the entry
+    block; constants are not tracked (they live in the constant pool).
+    """
+    info = loop_info if loop_info is not None else find_loops(function)
+    rpo_index = info.rpo_index
+    order = info.order
+    reachable_ids = set(rpo_index.keys())
+
+    # ------------------------------------------------------------------ #
+    # collect, for every value, the blocks (and instruction positions) of its
+    # definition and of all its uses.  Phi semantics follow the paper: the
+    # phi's arguments are read at the *end of the incoming block*, the phi
+    # itself is written at the start of its own block.
+    # ------------------------------------------------------------------ #
+    def_block: dict[int, int] = {}
+    def_pos: dict[int, int] = {}
+    use_blocks: dict[int, set[int]] = {}
+    last_use_pos: dict[int, int] = {}
+    values: dict[int, Value] = {}
+
+    def note_def(value: Value, block_idx: int, pos: int) -> None:
+        values[value.uid] = value
+        def_block[value.uid] = block_idx
+        def_pos[value.uid] = pos
+        use_blocks.setdefault(value.uid, set()).add(block_idx)
+
+    def note_use(value: Value, block_idx: int, pos: int) -> None:
+        if isinstance(value, (Constant, Undef)):
+            return
+        values[value.uid] = value
+        use_blocks.setdefault(value.uid, set()).add(block_idx)
+        prev = last_use_pos.get(value.uid, -1)
+        if block_idx == def_block.get(value.uid) and pos > prev:
+            last_use_pos[value.uid] = pos
+
+    for arg in function.args:
+        note_def(arg, 0, -1)
+
+    for block in order:
+        bidx = rpo_index[id(block)]
+        block_len = len(block.instructions)
+        for pos, inst in enumerate(block.instructions):
+            if inst.has_result:
+                note_def(inst, bidx, pos)
+            if isinstance(inst, PhiInst):
+                # Arguments are read at the end of their incoming block; the
+                # phi itself is written there too (the translator emits the
+                # register copy just before the predecessor's terminator), so
+                # the phi's own range must include every incoming block.
+                for value, pred in inst.incoming:
+                    if id(pred) not in reachable_ids:
+                        continue
+                    pred_idx = rpo_index[id(pred)]
+                    use_blocks.setdefault(inst.uid, set()).add(pred_idx)
+                    if isinstance(value, (Constant, Undef)):
+                        continue
+                    values[value.uid] = value
+                    use_blocks.setdefault(value.uid, set()).add(pred_idx)
+                    if pred_idx == def_block.get(value.uid):
+                        # read happens at the very end of the incoming block
+                        last_use_pos[value.uid] = len(pred.instructions)
+            else:
+                for operand in inst.value_operands():
+                    note_use(operand, bidx, pos)
+
+    # ------------------------------------------------------------------ #
+    # turn block sets into ranges, extending to enclosing loops (Fig. 11).
+    # ------------------------------------------------------------------ #
+    index_to_block = {idx: block for block, idx in
+                      ((b, rpo_index[id(b)]) for b in order)}
+    ranges: dict[int, LiveRange] = {}
+    for uid, value in values.items():
+        if uid not in def_block:
+            raise VMError(
+                f"{function.name}: value {value.short_name()} is used but "
+                f"never defined (run the IR verifier first)")
+        blocks = use_blocks[uid]
+        d_idx = def_block[uid]
+
+        if len(blocks) == 1 and blocks == {d_idx}:
+            # Entirely local to its defining block: precise positions apply.
+            ranges[uid] = LiveRange(
+                value=value,
+                start_block=d_idx,
+                end_block=d_idx,
+                def_position=def_pos[uid],
+                last_use_position=last_use_pos.get(uid, def_pos[uid]),
+                crosses_blocks=False,
+            )
+            continue
+
+        # C_v: the innermost loop containing all blocks of B_v.
+        member_loops = [info.loop_of(index_to_block[idx]) for idx in blocks]
+        common = info.common_loop(member_loops)
+
+        start = min(blocks)
+        end = max(blocks)
+        for idx in blocks:
+            block = index_to_block[idx]
+            inner = info.loop_of(block)
+            if inner is common:
+                # The block sits directly in C_v: extend with the block itself.
+                continue
+            # Otherwise extend with the outermost loop below C_v containing it.
+            outer_below = info.outermost_below(common, block)
+            start = min(start, outer_below.first_index)
+            end = max(end, outer_below.last_index)
+
+        ranges[uid] = LiveRange(
+            value=value,
+            start_block=min(start, d_idx),
+            end_block=max(end, d_idx),
+            def_position=def_pos[uid],
+            last_use_position=-1,
+            crosses_blocks=True,
+        )
+
+    return ranges, info
+
+
+def naive_live_ranges(function: Function,
+                      window: Optional[int] = None) -> Dict[int, LiveRange]:
+    """Baseline liveness strategies used by the register-file ablation.
+
+    ``window=None`` reproduces the "no reuse" strategy (every value keeps its
+    register until the end of the function).  A numeric ``window`` reproduces
+    the greedy fixed-window strategy some JIT compilers use: a value whose
+    uses all fall within ``window`` blocks of its definition gets a tight
+    range; any value living longer keeps its register until the end of the
+    function.  These strategies are only used to *measure* register-file
+    sizes (paper Section IV-C); execution always uses
+    :func:`compute_live_ranges`.
+    """
+    info = find_loops(function)
+    rpo_index = info.rpo_index
+    last_block = len(info.order) - 1
+
+    def_block: dict[int, int] = {}
+    max_use: dict[int, int] = {}
+    values: dict[int, Value] = {}
+
+    for arg in function.args:
+        values[arg.uid] = arg
+        def_block[arg.uid] = 0
+        max_use[arg.uid] = 0
+
+    for block in info.order:
+        bidx = rpo_index[id(block)]
+        for inst in block.instructions:
+            if inst.has_result:
+                values[inst.uid] = inst
+                def_block[inst.uid] = bidx
+                max_use.setdefault(inst.uid, bidx)
+            operands = (inst.value_operands()
+                        if not isinstance(inst, PhiInst)
+                        else [v for v, _ in inst.incoming])
+            for operand in operands:
+                if isinstance(operand, (Constant, Undef)):
+                    continue
+                if operand.uid in values:
+                    max_use[operand.uid] = max(max_use[operand.uid], bidx)
+
+    ranges: dict[int, LiveRange] = {}
+    for uid, value in values.items():
+        start = def_block[uid]
+        end = max_use.get(uid, start)
+        if window is None:
+            end = last_block
+        elif end - start > window:
+            end = last_block
+        ranges[uid] = LiveRange(value=value, start_block=start,
+                                end_block=end, def_position=-1,
+                                last_use_position=-1, crosses_blocks=True)
+    return ranges

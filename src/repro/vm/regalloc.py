@@ -1,0 +1,218 @@
+"""Register allocation for the bytecode VM (paper Section IV-C).
+
+The allocator maps every SSA value onto a slot of the virtual register file.
+Its goals, straight from the paper:
+
+1. every value gets a slot,
+2. two values share a slot only if their live ranges do not overlap,
+3. the total number of slots is minimised (the register file should stay in
+   the L1 cache),
+4. allocation runs in linear time even for functions with thousands of
+   blocks.
+
+Three strategies are provided.  ``loop_aware`` (the paper's algorithm, backed
+by :func:`repro.vm.liveness.compute_live_ranges`) is the one used for
+execution; ``no_reuse`` and ``greedy_window`` exist to reproduce the
+register-file size comparison of Section IV-C and are never used to run
+queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import VMError
+from ..ir.analysis import LoopInfo
+from ..ir.function import Function
+from ..ir.instructions import PhiInst
+from ..ir.values import Constant, Undef, Value
+from .liveness import LiveRange, compute_live_ranges, naive_live_ranges
+
+#: Slots 0 and 1 are reserved for the constants 0 and 1 (paper Section IV-A).
+RESERVED_SLOTS = 2
+
+
+@dataclass
+class RegisterAllocation:
+    """Result of register allocation for one function."""
+
+    function_name: str
+    #: value uid -> register slot
+    slot_of: Dict[int, int]
+    #: (type name, constant value) -> register slot for pooled constants
+    constant_slot_of: Dict[tuple, int]
+    #: total number of slots (including the two reserved constant slots)
+    num_registers: int
+    strategy: str = "loop_aware"
+
+    @property
+    def register_file_bytes(self) -> int:
+        """Register file size assuming 8-byte slots (paper's KB numbers)."""
+        return self.num_registers * 8
+
+    def slot(self, value: Value) -> int:
+        try:
+            return self.slot_of[value.uid]
+        except KeyError as exc:
+            raise VMError(
+                f"{self.function_name}: no register assigned to "
+                f"{value.short_name()}") from exc
+
+
+class _SlotPool:
+    """A free list of register slots that always hands out the lowest slot.
+
+    Using a min-heap keeps slot numbers dense, which both minimises the file
+    size and keeps hot slots together (cache locality in the C++ original).
+    """
+
+    def __init__(self, first_slot: int):
+        self._next_fresh = first_slot
+        self._free: list[int] = []
+
+    def allocate(self) -> int:
+        if self._free:
+            return heapq.heappop(self._free)
+        slot = self._next_fresh
+        self._next_fresh += 1
+        return slot
+
+    def release(self, slot: int) -> None:
+        heapq.heappush(self._free, slot)
+
+    @property
+    def high_water_mark(self) -> int:
+        return self._next_fresh
+
+
+def allocate_registers(function: Function,
+                       strategy: str = "loop_aware",
+                       loop_info: Optional[LoopInfo] = None,
+                       window: int = 4) -> RegisterAllocation:
+    """Assign a register slot to every value of ``function``.
+
+    ``strategy`` is one of ``"loop_aware"`` (default, the paper's algorithm),
+    ``"no_reuse"`` or ``"greedy_window"``; the latter two are measurement-only
+    baselines for the Section IV-C comparison.
+    """
+    if strategy == "loop_aware":
+        ranges, _ = compute_live_ranges(function, loop_info)
+    elif strategy == "no_reuse":
+        ranges = naive_live_ranges(function, window=None)
+    elif strategy == "greedy_window":
+        ranges = naive_live_ranges(function, window=window)
+    else:
+        raise VMError(f"unknown register allocation strategy {strategy!r}")
+
+    constant_slot_of = _pool_constants(function)
+    first_free = RESERVED_SLOTS + len(constant_slot_of)
+    pool = _SlotPool(first_free)
+
+    # Bucket ranges by start and end block for the linear sweep.
+    starts: dict[int, list[LiveRange]] = {}
+    ends: dict[int, list[LiveRange]] = {}
+    max_block = 0
+    for live_range in ranges.values():
+        starts.setdefault(live_range.start_block, []).append(live_range)
+        ends.setdefault(live_range.end_block, []).append(live_range)
+        max_block = max(max_block, live_range.end_block)
+
+    slot_of: dict[int, int] = {}
+
+    for block_index in range(max_block + 1):
+        starting = starts.get(block_index, [])
+
+        # Multi-block values are allocated for the whole block span; values
+        # local to a single block are handled with instruction-level
+        # precision below so their slots can be recycled within the block.
+        local = [r for r in starting if r.single_block]
+        spanning = [r for r in starting if not r.single_block]
+
+        for live_range in sorted(spanning, key=lambda r: r.value.uid):
+            slot_of[live_range.value.uid] = pool.allocate()
+
+        # Instruction-precise sweep inside the block: release a local value's
+        # slot right after its last use so the next local value can reuse it
+        # ("allocate on demand, release when the last user is gone").  A heap
+        # ordered by last-use position keeps the sweep O(n log n), which is
+        # essential for the huge single-block functions machine-generated
+        # queries produce (paper Section IV-C).
+        if local:
+            local.sort(key=lambda r: (r.def_position, r.value.uid))
+            releases: list[tuple[int, int]] = []  # (last_use, value uid)
+            for live_range in local:
+                while releases and releases[0][0] < live_range.def_position:
+                    _, released_uid = heapq.heappop(releases)
+                    pool.release(slot_of[released_uid])
+                slot_of[live_range.value.uid] = pool.allocate()
+                heapq.heappush(releases, (live_range.last_use_position,
+                                          live_range.value.uid))
+            while releases:
+                _, released_uid = heapq.heappop(releases)
+                pool.release(slot_of[released_uid])
+
+        # Release multi-block values whose range ends at this block.
+        for live_range in ends.get(block_index, []):
+            if live_range.single_block:
+                continue
+            slot = slot_of.get(live_range.value.uid)
+            if slot is not None:
+                pool.release(slot)
+
+    num_registers = max(pool.high_water_mark, first_free)
+    return RegisterAllocation(
+        function_name=function.name,
+        slot_of=slot_of,
+        constant_slot_of=constant_slot_of,
+        num_registers=num_registers,
+        strategy=strategy,
+    )
+
+
+def _pool_constants(function: Function) -> Dict[tuple, int]:
+    """Assign register slots to the distinct constants used by the function.
+
+    Slot 0 and 1 always hold 0 and 1; every other distinct constant gets one
+    pooled slot that the frame initialises once per invocation, so the
+    interpreter never materialises constants in the hot loop.
+    """
+    constant_slot_of: dict[tuple, int] = {}
+    next_slot = RESERVED_SLOTS
+    for block in function.blocks:
+        for inst in block.instructions:
+            operands = (list(inst.value_operands())
+                        if not isinstance(inst, PhiInst)
+                        else [v for v, _ in inst.incoming])
+            for operand in operands:
+                if not isinstance(operand, Constant):
+                    continue
+                key = constant_key(operand)
+                if key in constant_slot_of:
+                    continue
+                if _is_reserved_constant(operand):
+                    continue
+                constant_slot_of[key] = next_slot
+                next_slot += 1
+    return constant_slot_of
+
+
+def constant_key(constant: Constant) -> tuple:
+    """Hashable pooling key for a constant (pointers pool by identity)."""
+    if constant.type.is_pointer:
+        return (constant.type.name, id(constant.value))
+    return (constant.type.name, constant.value)
+
+
+def _is_reserved_constant(constant: Constant) -> bool:
+    """Whether the constant is covered by the reserved slots 0/1."""
+    return (constant.type.is_integer and not constant.type.is_pointer
+            and constant.value in (0, 1))
+
+
+def constant_slot(allocation: RegisterAllocation, constant: Constant) -> int:
+    """Register slot holding ``constant`` (reserved slots for 0 and 1)."""
+    if _is_reserved_constant(constant):
+        return int(constant.value)
+    return allocation.constant_slot_of[constant_key(constant)]

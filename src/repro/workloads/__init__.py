@@ -1,0 +1,14 @@
+"""Benchmark workloads: TPC-H-derived, TPC-DS-flavoured, metadata and
+machine-generated wide-aggregate queries."""
+
+from .tpch import TPCH_QUERIES, populate_tpch, tpch_query
+from .tpcds import TPCDS_QUERIES, populate_tpcds
+from .metadata import METADATA_QUERIES, populate_metadata
+from .largequeries import populate_wide_table, wide_aggregate_query
+
+__all__ = [
+    "TPCH_QUERIES", "populate_tpch", "tpch_query",
+    "TPCDS_QUERIES", "populate_tpcds",
+    "METADATA_QUERIES", "populate_metadata",
+    "populate_wide_table", "wide_aggregate_query",
+]

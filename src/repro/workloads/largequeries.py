@@ -1,0 +1,58 @@
+"""Machine-generated wide-aggregate queries (paper Section V-E, Fig. 15).
+
+Business-intelligence tools generate enormous queries; the paper models them
+with "a single table scan and an increasing number of aggregate expressions"
+(10 to 1,900 aggregates, 1,000 to 160,000 LLVM instructions) and shows that
+only the linear-time bytecode translation copes with them.  This module
+generates exactly that query family.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..engine import Database
+from ..types import SQLType
+
+#: Columns of the synthetic wide table used as the scan target.
+_WIDE_COLUMNS = ["v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"]
+
+
+def populate_wide_table(db: Optional[Database] = None, num_rows: int = 5_000,
+                        seed: int = 3) -> Database:
+    """Create the scan target for the machine-generated queries."""
+    db = db or Database()
+    rng = random.Random(seed)
+    db.create_table("measurements",
+                    [("id", SQLType.INT64)]
+                    + [(name, SQLType.FLOAT64) for name in _WIDE_COLUMNS])
+    rows = []
+    for i in range(num_rows):
+        rows.append(tuple([i] + [round(rng.uniform(-100.0, 100.0), 4)
+                                 for _ in _WIDE_COLUMNS]))
+    db.insert("measurements", rows, encode=False)
+    return db
+
+
+def wide_aggregate_query(num_aggregates: int, with_filter: bool = True) -> str:
+    """Generate a query with ``num_aggregates`` distinct aggregate expressions.
+
+    Every aggregate is a different arithmetic combination of the base
+    columns, so common-subexpression elimination cannot collapse them and the
+    generated code grows linearly with ``num_aggregates`` -- the same
+    behaviour the paper's generator exhibits.
+    """
+    aggregates = []
+    for index in range(num_aggregates):
+        column_a = _WIDE_COLUMNS[index % len(_WIDE_COLUMNS)]
+        column_b = _WIDE_COLUMNS[(index // len(_WIDE_COLUMNS) + 1)
+                                 % len(_WIDE_COLUMNS)]
+        factor = (index % 13) + 1
+        offset = index * 0.5
+        function = ("sum", "avg", "min", "max")[index % 4]
+        aggregates.append(
+            f"{function}({column_a} * {factor} + {column_b} - {offset}) "
+            f"as agg_{index}")
+    where = "where v0 > -50.0 and v1 < 90.0" if with_filter else ""
+    return (f"select {', '.join(aggregates)} from measurements {where}")

@@ -1,0 +1,108 @@
+"""pgAdmin-style metadata workload (paper Section I).
+
+The paper motivates adaptive execution with the catalog queries a GUI tool
+sends on startup: complex joins over tiny metadata tables, where compilation
+would take orders of magnitude longer than execution.  This module builds a
+miniature PostgreSQL-like catalog (pg_class / pg_namespace / pg_attribute /
+pg_inherits / pg_index) and provides a batch of metadata queries in the same
+spirit as the paper's example query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..engine import Database
+from ..types import SQLType
+
+
+def populate_metadata(db: Optional[Database] = None, num_tables: int = 300,
+                      seed: int = 11) -> Database:
+    """Create and fill the miniature system catalog."""
+    db = db or Database()
+    I, S = SQLType.INT64, SQLType.STRING
+    rng = random.Random(seed)
+
+    db.create_table("pg_namespace", [("oid", I), ("nspname", S)])
+    db.create_table("pg_class", [("oid", I), ("relname", S),
+                                 ("relnamespace", I), ("relkind", S),
+                                 ("relpages", I), ("reltuples", I)])
+    db.create_table("pg_attribute", [("attrelid", I), ("attname", S),
+                                     ("attnum", I), ("atttypid", I)])
+    db.create_table("pg_inherits", [("inhrelid", I), ("inhparent", I),
+                                    ("inhseqno", I)])
+    db.create_table("pg_index", [("indexrelid", I), ("indrelid", I),
+                                 ("indisunique", I), ("indisprimary", I)])
+
+    namespaces = ["pg_catalog", "public", "information_schema", "app",
+                  "analytics"]
+    db.insert("pg_namespace", [(i + 1, name) for i, name
+                               in enumerate(namespaces)], encode=False)
+
+    classes = []
+    attributes = []
+    inherits = []
+    indexes = []
+    for oid in range(1, num_tables + 1):
+        namespace = rng.randint(1, len(namespaces))
+        classes.append((oid, f"table_{oid}", namespace,
+                        rng.choice(["r", "i", "v"]), rng.randint(1, 1000),
+                        rng.randint(0, 100_000)))
+        for attnum in range(1, rng.randint(3, 12)):
+            attributes.append((oid, f"col_{attnum}", attnum,
+                               rng.choice([20, 23, 25, 700, 1082])))
+        if oid > 10 and rng.random() < 0.2:
+            inherits.append((oid, rng.randint(1, 10), rng.randint(1, 5)))
+        if rng.random() < 0.5:
+            indexes.append((10_000 + oid, oid, rng.randint(0, 1),
+                            rng.randint(0, 1)))
+    db.insert("pg_class", classes, encode=False)
+    db.insert("pg_attribute", attributes, encode=False)
+    db.insert("pg_inherits", inherits, encode=False)
+    db.insert("pg_index", indexes, encode=False)
+    return db
+
+
+#: Metadata queries in the spirit of the paper's pgAdmin example: complex
+#: join structure, tiny inputs, negligible execution time.
+METADATA_QUERIES: list[str] = [
+    # The paper's example query (rewritten without the correlated lookup).
+    """
+    select c.oid, c.relname, n.nspname, i.inhseqno
+    from pg_inherits i, pg_class c, pg_namespace n
+    where c.oid = i.inhparent and n.oid = c.relnamespace
+      and i.inhrelid = 42
+    order by i.inhseqno
+    """,
+    """
+    select n.nspname, count(*) as num_tables, sum(c.reltuples) as tuples
+    from pg_class c, pg_namespace n
+    where c.relnamespace = n.oid and c.relkind = 'r'
+    group by n.nspname
+    order by num_tables desc
+    """,
+    """
+    select c.relname, count(*) as num_columns
+    from pg_class c, pg_attribute a
+    where a.attrelid = c.oid
+    group by c.relname
+    order by num_columns desc, c.relname
+    limit 20
+    """,
+    """
+    select n.nspname, c.relname, x.indisunique, x.indisprimary
+    from pg_index x, pg_class c, pg_namespace n
+    where x.indrelid = c.oid and c.relnamespace = n.oid
+      and x.indisprimary = 1
+    order by n.nspname, c.relname
+    limit 50
+    """,
+    """
+    select p.relname as parent, c.relname as child, i.inhseqno
+    from pg_inherits i, pg_class p, pg_class c, pg_namespace n
+    where i.inhparent = p.oid and i.inhrelid = c.oid
+      and p.relnamespace = n.oid and n.nspname = 'public'
+    order by parent, inhseqno
+    """,
+]

@@ -1,0 +1,182 @@
+"""TPC-DS-flavoured star-schema workload.
+
+TPC-DS is used in the paper mainly as a source of *larger* generated code
+(its queries compile to up to ~19,000 LLVM instructions, Fig. 6, and TPC-DS
+query 55 is the register-allocation example of Section IV-C).  This module
+provides a compact star schema (store_sales fact table with date, item,
+store and customer dimensions) plus a set of queries with deliberately wide
+aggregate lists and multi-way joins so that the generated IR spans a wide
+size range -- which is what the compile-time scaling experiments need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..engine import Database
+from ..types import SQLType, date_to_days, decimal_to_scaled
+
+#: Rows per "scale unit" for the fact table and dimensions.
+DEFAULT_FACT_ROWS = 8_000
+
+
+def populate_tpcds(db: Optional[Database] = None, fact_rows: int = DEFAULT_FACT_ROWS,
+                   seed: int = 7) -> Database:
+    """Create and populate the TPC-DS-flavoured star schema."""
+    db = db or Database()
+    I, F, D, S, DEC = (SQLType.INT64, SQLType.FLOAT64, SQLType.DATE,
+                       SQLType.STRING, SQLType.DECIMAL)
+    rng = random.Random(seed)
+
+    num_items = max(fact_rows // 40, 20)
+    num_stores = 12
+    num_customers = max(fact_rows // 20, 50)
+    num_dates = 365 * 3
+
+    db.create_table("date_dim", [("d_date_sk", I), ("d_date", D),
+                                 ("d_year", I), ("d_moy", I), ("d_dom", I),
+                                 ("d_day_name", S)])
+    db.create_table("item", [("i_item_sk", I), ("i_item_id", S),
+                             ("i_category", S), ("i_brand", S),
+                             ("i_current_price", DEC), ("i_class", S)])
+    db.create_table("store", [("s_store_sk", I), ("s_store_name", S),
+                              ("s_state", S), ("s_market_id", I)])
+    db.create_table("customer_dim", [("cd_customer_sk", I), ("cd_name", S),
+                                     ("cd_birth_year", I), ("cd_state", S)])
+    db.create_table("store_sales", [
+        ("ss_sold_date_sk", I), ("ss_item_sk", I), ("ss_store_sk", I),
+        ("ss_customer_sk", I), ("ss_quantity", I), ("ss_list_price", DEC),
+        ("ss_sales_price", DEC), ("ss_ext_discount_amt", DEC),
+        ("ss_net_profit", DEC), ("ss_wholesale_cost", DEC)])
+
+    categories = ["Music", "Books", "Electronics", "Home", "Sports",
+                  "Jewelry", "Shoes", "Women", "Men", "Children"]
+    states = ["CA", "TX", "NY", "WA", "IL", "GA", "OH", "MI"]
+    day_names = ["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday",
+                 "Friday", "Saturday"]
+
+    base_date = date_to_days("1999-01-01")
+    db.insert("date_dim", [
+        (i, base_date + i, 1999 + (i // 365), (i // 30) % 12 + 1, i % 28 + 1,
+         day_names[i % 7])
+        for i in range(num_dates)], encode=False)
+    db.insert("item", [
+        (i, f"ITEM{i:08d}", categories[i % len(categories)],
+         f"Brand#{i % 50}", decimal_to_scaled(round(rng.uniform(1, 300), 2)),
+         f"class{i % 15}")
+        for i in range(num_items)], encode=False)
+    db.insert("store", [
+        (i, f"Store {i}", states[i % len(states)], i % 5)
+        for i in range(num_stores)], encode=False)
+    db.insert("customer_dim", [
+        (i, f"Customer {i}", 1930 + (i % 70), states[i % len(states)])
+        for i in range(num_customers)], encode=False)
+
+    fact_rows_data = []
+    for i in range(fact_rows):
+        list_price = round(rng.uniform(1.0, 300.0), 2)
+        sales_price = round(list_price * rng.uniform(0.3, 1.0), 2)
+        fact_rows_data.append((
+            rng.randrange(num_dates), rng.randrange(num_items),
+            rng.randrange(num_stores), rng.randrange(num_customers),
+            rng.randint(1, 100), decimal_to_scaled(list_price),
+            decimal_to_scaled(sales_price),
+            decimal_to_scaled(round(rng.uniform(0, 50), 2)),
+            decimal_to_scaled(round(rng.uniform(-100, 500), 2)),
+            decimal_to_scaled(round(list_price * 0.6, 2))))
+    db.insert("store_sales", fact_rows_data, encode=False)
+    return db
+
+
+def _wide_sum_list(columns: list[str], repetitions: int) -> str:
+    """Build a wide aggregate list over the given columns."""
+    aggregates = []
+    for index in range(repetitions):
+        column = columns[index % len(columns)]
+        factor = (index % 7) + 1
+        aggregates.append(
+            f"sum({column} * {factor} + {index}) as agg_{index}")
+    return ", ".join(aggregates)
+
+
+_SALES_COLUMNS = ["ss_quantity", "ss_list_price", "ss_sales_price",
+                  "ss_ext_discount_amt", "ss_net_profit",
+                  "ss_wholesale_cost"]
+
+#: TPC-DS-flavoured queries, deliberately spanning a wide range of generated
+#: code sizes (the dict key is the query id used in reports).
+TPCDS_QUERIES: dict[int, str] = {
+    3: """
+        select d_year, i_brand, sum(ss_ext_discount_amt) as sum_agg
+        from store_sales, date_dim, item
+        where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+          and i_category = 'Music' and d_moy = 11
+        group by d_year, i_brand
+        order by d_year, sum_agg desc, i_brand
+        limit 100
+    """,
+    7: """
+        select i_item_id, avg(ss_quantity) as agg1,
+               avg(ss_list_price) as agg2, avg(ss_sales_price) as agg3,
+               avg(ss_net_profit) as agg4
+        from store_sales, item, date_dim
+        where ss_item_sk = i_item_sk and ss_sold_date_sk = d_date_sk
+          and d_year = 2000
+        group by i_item_id
+        order by i_item_id
+        limit 100
+    """,
+    19: """
+        select i_brand, i_category, s_state,
+               sum(ss_ext_discount_amt) as ext_price,
+               sum(ss_net_profit) as profit,
+               count(*) as cnt
+        from store_sales, item, store, date_dim
+        where ss_item_sk = i_item_sk and ss_store_sk = s_store_sk
+          and ss_sold_date_sk = d_date_sk and d_moy = 12
+          and i_current_price > 50.0
+        group by i_brand, i_category, s_state
+        order by ext_price desc, i_brand
+        limit 100
+    """,
+    42: """
+        select d_year, i_category,
+               sum(ss_ext_discount_amt) as total_discount,
+               sum(ss_sales_price * ss_quantity) as volume
+        from store_sales, date_dim, item
+        where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+          and d_year = 2000
+        group by d_year, i_category
+        order by total_discount desc, i_category
+    """,
+    # Query 55-like shapes with progressively wider aggregate lists: these
+    # are the "large generated code" data points of Fig. 6 and the register
+    # allocation example of Section IV-C.
+    55: f"""
+        select i_brand, s_state, {_wide_sum_list(_SALES_COLUMNS, 24)}
+        from store_sales, item, store, date_dim
+        where ss_item_sk = i_item_sk and ss_store_sk = s_store_sk
+          and ss_sold_date_sk = d_date_sk and d_moy = 11
+        group by i_brand, s_state
+        order by i_brand, s_state
+        limit 100
+    """,
+    67: f"""
+        select i_category, d_year, {_wide_sum_list(_SALES_COLUMNS, 48)}
+        from store_sales, item, date_dim
+        where ss_item_sk = i_item_sk and ss_sold_date_sk = d_date_sk
+        group by i_category, d_year
+        order by i_category, d_year
+    """,
+    88: f"""
+        select s_store_name,
+               {_wide_sum_list(_SALES_COLUMNS, 80)}
+        from store_sales, store, date_dim, item, customer_dim
+        where ss_store_sk = s_store_sk and ss_sold_date_sk = d_date_sk
+          and ss_item_sk = i_item_sk and ss_customer_sk = cd_customer_sk
+          and cd_birth_year > 1950
+        group by s_store_name
+        order by s_store_name
+    """,
+}

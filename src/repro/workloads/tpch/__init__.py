@@ -1,0 +1,6 @@
+"""TPC-H-derived workload: scaled data generator and the 22 query templates."""
+
+from .datagen import populate_tpch, TPCH_TABLE_RATIOS
+from .queries import TPCH_QUERIES, tpch_query
+
+__all__ = ["populate_tpch", "TPCH_TABLE_RATIOS", "TPCH_QUERIES", "tpch_query"]

@@ -1,0 +1,243 @@
+"""Deterministic, scaled TPC-H data generator.
+
+The generator creates all eight TPC-H tables with the official column sets
+and value domains (return flags, ship modes, brands, market segments, date
+ranges...), but the row counts are scaled down by ``rows_per_unit`` relative
+to the official 1 GB scale factor so that the full benchmark sweep runs on a
+laptop in CI time (DESIGN.md documents the substitution: the experiments rely
+on *relative* data sizes, which the scaled generator preserves exactly --
+orders:lineitem:partsupp ratios match TPC-H).
+
+Everything is generated from a seeded :class:`random.Random`, so repeated
+runs and different execution engines see identical data.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from typing import Optional
+
+from ...engine import Database
+from ...types import SQLType, date_to_days, decimal_to_scaled
+
+#: Official TPC-H rows per scale factor 1.
+TPCH_TABLE_RATIOS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Default down-scaling: 1/1000 of the official row counts.
+DEFAULT_ROWS_PER_UNIT = 0.001
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                  "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "SM PACK", "SM PKG",
+               "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+               "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+               "JUMBO BAG", "JUMBO BOX", "WRAP CASE", "WRAP BOX"]
+_TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_NAME_WORDS = ["almond", "antique", "aquamarine", "azure", "beige", "bisque",
+               "black", "blanched", "blue", "blush", "brown", "burlywood",
+               "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+               "cream", "cyan", "dark", "deep", "dim", "dodger", "drab",
+               "firebrick", "floral", "forest", "frosted", "gainsboro",
+               "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+               "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+               "lemon", "light", "lime", "linen", "magenta", "maroon",
+               "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+               "navajo", "navy", "olive", "orange", "orchid", "pale",
+               "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+               "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+               "sandy", "seashell", "sienna", "sky", "slate", "smoke",
+               "snow", "spring", "steel", "tan", "thistle", "tomato",
+               "turquoise", "violet", "wheat", "white", "yellow"]
+_COMMENT_WORDS = ["carefully", "final", "requests", "special", "furiously",
+                  "pending", "accounts", "deposits", "quickly", "ironic",
+                  "packages", "express", "regular", "slyly", "bold", "even"]
+
+_START_DATE = _dt.date(1992, 1, 1)
+_END_DATE = _dt.date(1998, 12, 1)
+_DATE_SPAN = (_END_DATE - _START_DATE).days
+
+
+def table_sizes(scale_factor: float,
+                rows_per_unit: float = DEFAULT_ROWS_PER_UNIT
+                ) -> dict[str, int]:
+    """Row counts per table for the given scale factor."""
+    sizes = {}
+    for table, official in TPCH_TABLE_RATIOS.items():
+        if table in ("region", "nation"):
+            sizes[table] = official
+        else:
+            sizes[table] = max(int(official * rows_per_unit * scale_factor), 1)
+    return sizes
+
+
+def create_tpch_schema(db: Database) -> None:
+    """Create the eight TPC-H tables (official column names)."""
+    I, F, D, S, DEC = (SQLType.INT64, SQLType.FLOAT64, SQLType.DATE,
+                       SQLType.STRING, SQLType.DECIMAL)
+    db.create_table("region", [("r_regionkey", I), ("r_name", S),
+                               ("r_comment", S)])
+    db.create_table("nation", [("n_nationkey", I), ("n_name", S),
+                               ("n_regionkey", I), ("n_comment", S)])
+    db.create_table("supplier", [("s_suppkey", I), ("s_name", S),
+                                 ("s_address", S), ("s_nationkey", I),
+                                 ("s_phone", S), ("s_acctbal", DEC),
+                                 ("s_comment", S)])
+    db.create_table("customer", [("c_custkey", I), ("c_name", S),
+                                 ("c_address", S), ("c_nationkey", I),
+                                 ("c_phone", S), ("c_acctbal", DEC),
+                                 ("c_mktsegment", S), ("c_comment", S)])
+    db.create_table("part", [("p_partkey", I), ("p_name", S), ("p_mfgr", S),
+                             ("p_brand", S), ("p_type", S), ("p_size", I),
+                             ("p_container", S), ("p_retailprice", DEC),
+                             ("p_comment", S)])
+    db.create_table("partsupp", [("ps_partkey", I), ("ps_suppkey", I),
+                                 ("ps_availqty", I), ("ps_supplycost", DEC),
+                                 ("ps_comment", S)])
+    db.create_table("orders", [("o_orderkey", I), ("o_custkey", I),
+                               ("o_orderstatus", S), ("o_totalprice", DEC),
+                               ("o_orderdate", D), ("o_orderpriority", S),
+                               ("o_clerk", S), ("o_shippriority", I),
+                               ("o_comment", S)])
+    db.create_table("lineitem", [("l_orderkey", I), ("l_partkey", I),
+                                 ("l_suppkey", I), ("l_linenumber", I),
+                                 ("l_quantity", DEC),
+                                 ("l_extendedprice", DEC),
+                                 ("l_discount", DEC), ("l_tax", DEC),
+                                 ("l_returnflag", S), ("l_linestatus", S),
+                                 ("l_shipdate", D), ("l_commitdate", D),
+                                 ("l_receiptdate", D), ("l_shipinstruct", S),
+                                 ("l_shipmode", S), ("l_comment", S)])
+
+
+def populate_tpch(db: Optional[Database] = None, scale_factor: float = 0.1,
+                  rows_per_unit: float = DEFAULT_ROWS_PER_UNIT,
+                  seed: int = 42) -> Database:
+    """Create and populate a TPC-H database at the given scale factor."""
+    db = db or Database()
+    if not db.catalog.has_table("lineitem"):
+        create_tpch_schema(db)
+    rng = random.Random(seed)
+    sizes = table_sizes(scale_factor, rows_per_unit)
+
+    def comment() -> str:
+        return " ".join(rng.choices(_COMMENT_WORDS, k=rng.randint(3, 8)))
+
+    def price() -> int:
+        return decimal_to_scaled(round(rng.uniform(900.0, 100_000.0), 2))
+
+    def random_date() -> int:
+        return date_to_days(_START_DATE) + rng.randint(0, _DATE_SPAN)
+
+    # region / nation --------------------------------------------------------
+    db.insert("region", [(i, name, comment()) for i, name
+                         in enumerate(_REGIONS)], encode=False)
+    db.insert("nation", [(i, name, region, comment()) for i, (name, region)
+                         in enumerate(_NATIONS)], encode=False)
+
+    # supplier ----------------------------------------------------------------
+    num_suppliers = sizes["supplier"]
+    db.insert("supplier", [
+        (i, f"Supplier#{i:09d}", f"address {i}", rng.randrange(25),
+         f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+         decimal_to_scaled(round(rng.uniform(-999.99, 9999.99), 2)), comment())
+        for i in range(num_suppliers)], encode=False)
+
+    # customer ----------------------------------------------------------------
+    num_customers = sizes["customer"]
+    db.insert("customer", [
+        (i, f"Customer#{i:09d}", f"address {i}", rng.randrange(25),
+         f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+         decimal_to_scaled(round(rng.uniform(-999.99, 9999.99), 2)),
+         rng.choice(_SEGMENTS), comment())
+        for i in range(num_customers)], encode=False)
+
+    # part --------------------------------------------------------------------
+    num_parts = sizes["part"]
+    db.insert("part", [
+        (i,
+         " ".join(rng.sample(_NAME_WORDS, 5)),
+         f"Manufacturer#{rng.randint(1, 5)}",
+         f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+         f"{rng.choice(_TYPE_SYLL1)} {rng.choice(_TYPE_SYLL2)} "
+         f"{rng.choice(_TYPE_SYLL3)}",
+         rng.randint(1, 50), rng.choice(_CONTAINERS),
+         decimal_to_scaled(round(900 + (i % 200) + 0.01 * (i % 100), 2)),
+         comment())
+        for i in range(num_parts)], encode=False)
+
+    # partsupp ----------------------------------------------------------------
+    num_partsupp = sizes["partsupp"]
+    per_part = max(num_partsupp // max(num_parts, 1), 1)
+    partsupp_rows = []
+    for part in range(num_parts):
+        for j in range(per_part):
+            partsupp_rows.append(
+                (part, (part + j * 7) % max(num_suppliers, 1),
+                 rng.randint(1, 9999),
+                 decimal_to_scaled(round(rng.uniform(1.0, 1000.0), 2)),
+                 comment()))
+    db.insert("partsupp", partsupp_rows, encode=False)
+
+    # orders ------------------------------------------------------------------
+    num_orders = sizes["orders"]
+    order_dates = {}
+    orders_rows = []
+    for i in range(num_orders):
+        order_date = random_date()
+        order_dates[i] = order_date
+        orders_rows.append(
+            (i, rng.randrange(max(num_customers, 1)),
+             rng.choice(["O", "F", "P"]), price(), order_date,
+             rng.choice(_PRIORITIES), f"Clerk#{rng.randint(1, 1000):09d}",
+             0, comment()))
+    db.insert("orders", orders_rows, encode=False)
+
+    # lineitem ----------------------------------------------------------------
+    num_lineitems = sizes["lineitem"]
+    lineitem_rows = []
+    for i in range(num_lineitems):
+        order = rng.randrange(max(num_orders, 1))
+        ship_date = order_dates.get(order, random_date()) + rng.randint(1, 121)
+        commit_date = ship_date + rng.randint(-30, 60)
+        receipt_date = ship_date + rng.randint(1, 30)
+        quantity = decimal_to_scaled(rng.randint(1, 50))
+        extended_price = decimal_to_scaled(
+            round(rng.uniform(1.0, 100.0) * (quantity / 100), 2))
+        return_flag = rng.choice(["R", "A", "N"])
+        line_status = "O" if ship_date > date_to_days(_dt.date(1995, 6, 17)) \
+            else "F"
+        lineitem_rows.append(
+            (order, rng.randrange(max(num_parts, 1)),
+             rng.randrange(max(num_suppliers, 1)), i % 7 + 1,
+             quantity, extended_price,
+             decimal_to_scaled(round(rng.uniform(0.0, 0.10), 2)),
+             decimal_to_scaled(round(rng.uniform(0.0, 0.08), 2)),
+             return_flag, line_status, ship_date, commit_date, receipt_date,
+             rng.choice(_SHIP_INSTRUCT), rng.choice(_SHIP_MODES), comment()))
+    db.insert("lineitem", lineitem_rows, encode=False)
+    return db

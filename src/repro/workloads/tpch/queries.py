@@ -1,0 +1,277 @@
+"""The 22 TPC-H-derived benchmark queries.
+
+The queries keep the table sets, join structures, predicates and aggregation
+shapes of the official TPC-H queries, expressed in the SQL dialect this
+engine supports.  Correlated and scalar subqueries (Q2, Q4, Q11, Q13, Q15,
+Q16, Q17, Q18, Q20, Q21, Q22 in the official suite) are rewritten into
+join/aggregate forms with constant thresholds -- DESIGN.md documents this
+substitution; the benchmarks compare execution *strategies* on identical
+queries, so all engines and execution modes run exactly the same rewritten
+statements.
+"""
+
+from __future__ import annotations
+
+TPCH_QUERIES: dict[int, str] = {
+    1: """
+        select l_returnflag, l_linestatus,
+               sum(l_quantity) as sum_qty,
+               sum(l_extendedprice) as sum_base_price,
+               sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+               sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+               avg(l_quantity) as avg_qty,
+               avg(l_extendedprice) as avg_price,
+               avg(l_discount) as avg_disc,
+               count(*) as count_order
+        from lineitem
+        where l_shipdate <= date '1998-09-02'
+        group by l_returnflag, l_linestatus
+        order by l_returnflag, l_linestatus
+    """,
+    2: """
+        select s_acctbal, s_name, n_name, p_partkey, p_mfgr
+        from part, supplier, partsupp, nation, region
+        where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+          and p_size = 15 and p_type like '%BRASS'
+          and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+          and r_name = 'EUROPE'
+        order by s_acctbal desc, n_name, s_name, p_partkey
+        limit 100
+    """,
+    3: """
+        select l_orderkey,
+               sum(l_extendedprice * (1 - l_discount)) as revenue,
+               o_orderdate, o_shippriority
+        from customer, orders, lineitem
+        where c_mktsegment = 'BUILDING'
+          and c_custkey = o_custkey and l_orderkey = o_orderkey
+          and o_orderdate < date '1995-03-15'
+          and l_shipdate > date '1995-03-15'
+        group by l_orderkey, o_orderdate, o_shippriority
+        order by revenue desc, o_orderdate
+        limit 10
+    """,
+    4: """
+        select o_orderpriority, count(*) as order_count
+        from orders, lineitem
+        where l_orderkey = o_orderkey
+          and o_orderdate >= date '1993-07-01'
+          and o_orderdate < date '1993-10-01'
+          and l_commitdate < l_receiptdate
+        group by o_orderpriority
+        order by o_orderpriority
+    """,
+    5: """
+        select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+        from customer, orders, lineitem, supplier, nation, region
+        where c_custkey = o_custkey and l_orderkey = o_orderkey
+          and l_suppkey = s_suppkey and c_nationkey = s_nationkey
+          and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+          and r_name = 'ASIA'
+          and o_orderdate >= date '1994-01-01'
+          and o_orderdate < date '1995-01-01'
+        group by n_name
+        order by revenue desc
+    """,
+    6: """
+        select sum(l_extendedprice * l_discount) as revenue
+        from lineitem
+        where l_shipdate >= date '1994-01-01'
+          and l_shipdate < date '1995-01-01'
+          and l_discount between 0.05 and 0.07
+          and l_quantity < 24
+    """,
+    7: """
+        select n1.n_name as supp_nation, n2.n_name as cust_nation,
+               year(l_shipdate) as l_year,
+               sum(l_extendedprice * (1 - l_discount)) as revenue
+        from supplier, lineitem, orders, customer, nation n1, nation n2
+        where s_suppkey = l_suppkey and o_orderkey = l_orderkey
+          and c_custkey = o_custkey and s_nationkey = n1.n_nationkey
+          and c_nationkey = n2.n_nationkey
+          and ((n1.n_name = 'FRANCE' and n2.n_name = 'GERMANY')
+               or (n1.n_name = 'GERMANY' and n2.n_name = 'FRANCE'))
+          and l_shipdate between date '1995-01-01' and date '1996-12-31'
+        group by n1.n_name, n2.n_name, year(l_shipdate)
+        order by supp_nation, cust_nation, l_year
+    """,
+    8: """
+        select year(o_orderdate) as o_year,
+               sum(case when n2.n_name = 'BRAZIL'
+                        then l_extendedprice * (1 - l_discount)
+                        else 0.0 end) as brazil_revenue,
+               sum(l_extendedprice * (1 - l_discount)) as total_revenue
+        from part, supplier, lineitem, orders, customer,
+             nation n1, nation n2, region
+        where p_partkey = l_partkey and s_suppkey = l_suppkey
+          and l_orderkey = o_orderkey and o_custkey = c_custkey
+          and c_nationkey = n1.n_nationkey and n1.n_regionkey = r_regionkey
+          and r_name = 'AMERICA' and s_nationkey = n2.n_nationkey
+          and o_orderdate between date '1995-01-01' and date '1996-12-31'
+          and p_type = 'ECONOMY ANODIZED STEEL'
+        group by year(o_orderdate)
+        order by o_year
+    """,
+    9: """
+        select n_name as nation, year(o_orderdate) as o_year,
+               sum(l_extendedprice * (1 - l_discount)
+                   - ps_supplycost * l_quantity) as sum_profit
+        from part, supplier, lineitem, partsupp, orders, nation
+        where s_suppkey = l_suppkey and ps_suppkey = l_suppkey
+          and ps_partkey = l_partkey and p_partkey = l_partkey
+          and o_orderkey = l_orderkey and s_nationkey = n_nationkey
+          and p_name like '%green%'
+        group by n_name, year(o_orderdate)
+        order by nation, o_year desc
+    """,
+    10: """
+        select c_custkey, c_name,
+               sum(l_extendedprice * (1 - l_discount)) as revenue,
+               c_acctbal, n_name
+        from customer, orders, lineitem, nation
+        where c_custkey = o_custkey and l_orderkey = o_orderkey
+          and o_orderdate >= date '1993-10-01'
+          and o_orderdate < date '1994-01-01'
+          and l_returnflag = 'R' and c_nationkey = n_nationkey
+        group by c_custkey, c_name, c_acctbal, n_name
+        order by revenue desc
+        limit 20
+    """,
+    11: """
+        select ps_partkey, sum(ps_supplycost * ps_availqty) as value
+        from partsupp, supplier, nation
+        where ps_suppkey = s_suppkey and s_nationkey = n_nationkey
+          and n_name = 'GERMANY'
+        group by ps_partkey
+        having sum(ps_supplycost * ps_availqty) > 1000.0
+        order by value desc
+    """,
+    12: """
+        select l_shipmode,
+               sum(case when o_orderpriority = '1-URGENT'
+                          or o_orderpriority = '2-HIGH'
+                        then 1 else 0 end) as high_line_count,
+               sum(case when o_orderpriority <> '1-URGENT'
+                         and o_orderpriority <> '2-HIGH'
+                        then 1 else 0 end) as low_line_count
+        from orders, lineitem
+        where o_orderkey = l_orderkey
+          and l_shipmode in ('MAIL', 'SHIP')
+          and l_commitdate < l_receiptdate and l_shipdate < l_commitdate
+          and l_receiptdate >= date '1994-01-01'
+          and l_receiptdate < date '1995-01-01'
+        group by l_shipmode
+        order by l_shipmode
+    """,
+    13: """
+        select c_custkey, count(*) as c_count
+        from customer, orders
+        where c_custkey = o_custkey
+          and o_comment not like '%special%requests%'
+        group by c_custkey
+        order by c_count desc, c_custkey
+        limit 100
+    """,
+    14: """
+        select sum(case when p_type like 'PROMO%'
+                        then l_extendedprice * (1 - l_discount)
+                        else 0.0 end) as promo_revenue,
+               sum(l_extendedprice * (1 - l_discount)) as total_revenue
+        from lineitem, part
+        where l_partkey = p_partkey
+          and l_shipdate >= date '1995-09-01'
+          and l_shipdate < date '1995-10-01'
+    """,
+    15: """
+        select l_suppkey,
+               sum(l_extendedprice * (1 - l_discount)) as total_revenue
+        from lineitem
+        where l_shipdate >= date '1996-01-01'
+          and l_shipdate < date '1996-04-01'
+        group by l_suppkey
+        order by total_revenue desc, l_suppkey
+        limit 1
+    """,
+    16: """
+        select p_brand, p_type, p_size, count(*) as supplier_cnt
+        from partsupp, part
+        where p_partkey = ps_partkey
+          and p_brand <> 'Brand#45'
+          and p_type not like 'MEDIUM POLISHED%'
+          and p_size in (49, 14, 23, 45, 19, 3, 36, 9)
+        group by p_brand, p_type, p_size
+        order by supplier_cnt desc, p_brand, p_type, p_size
+        limit 100
+    """,
+    17: """
+        select p_brand, avg(l_quantity) as avg_qty,
+               sum(l_extendedprice) as total_price
+        from lineitem, part
+        where p_partkey = l_partkey
+          and p_brand = 'Brand#23' and p_container = 'MED BOX'
+          and l_quantity < 5
+        group by p_brand
+    """,
+    18: """
+        select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+               sum(l_quantity) as total_qty
+        from customer, orders, lineitem
+        where c_custkey = o_custkey and o_orderkey = l_orderkey
+        group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+        having sum(l_quantity) > 150
+        order by o_totalprice desc, o_orderdate
+        limit 100
+    """,
+    19: """
+        select sum(l_extendedprice * (1 - l_discount)) as revenue
+        from lineitem, part
+        where p_partkey = l_partkey
+          and l_shipmode in ('AIR', 'REG AIR')
+          and l_shipinstruct = 'DELIVER IN PERSON'
+          and ((p_brand = 'Brand#12'
+                and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+                and l_quantity >= 1 and l_quantity <= 11
+                and p_size between 1 and 5)
+            or (p_brand = 'Brand#23'
+                and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+                and l_quantity >= 10 and l_quantity <= 20
+                and p_size between 1 and 10)
+            or (p_brand = 'Brand#34'
+                and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+                and l_quantity >= 20 and l_quantity <= 30
+                and p_size between 1 and 15))
+    """,
+    20: """
+        select distinct s_name, s_address
+        from supplier, nation, partsupp, part
+        where s_suppkey = ps_suppkey and ps_partkey = p_partkey
+          and p_name like 'forest%' and s_nationkey = n_nationkey
+          and n_name = 'CANADA' and ps_availqty > 100
+        order by s_name
+        limit 100
+    """,
+    21: """
+        select s_name, count(*) as numwait
+        from supplier, lineitem, orders, nation
+        where s_suppkey = l_suppkey and o_orderkey = l_orderkey
+          and o_orderstatus = 'F' and l_receiptdate > l_commitdate
+          and s_nationkey = n_nationkey and n_name = 'SAUDI ARABIA'
+        group by s_name
+        order by numwait desc, s_name
+        limit 100
+    """,
+    22: """
+        select c_nationkey, count(*) as numcust,
+               sum(c_acctbal) as totacctbal
+        from customer
+        where c_acctbal > 0.0
+          and c_nationkey in (13, 31, 23, 29, 30, 18, 17)
+        group by c_nationkey
+        order by c_nationkey
+    """,
+}
+
+
+def tpch_query(number: int) -> str:
+    """Return the SQL text of TPC-H-derived query ``number`` (1..22)."""
+    return TPCH_QUERIES[number]

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests without installing the package.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import Database, SQLType               # noqa: E402
+from repro.workloads import populate_tpch          # noqa: E402
+
+
+@pytest.fixture()
+def empty_db() -> Database:
+    """A fresh, empty database."""
+    return Database()
+
+
+@pytest.fixture()
+def simple_db() -> Database:
+    """A small two-table database used by many unit tests."""
+    db = Database()
+    db.create_table("items", [("id", SQLType.INT64),
+                              ("category", SQLType.INT64),
+                              ("price", SQLType.FLOAT64),
+                              ("name", SQLType.STRING)])
+    db.create_table("categories", [("cat_id", SQLType.INT64),
+                                   ("cat_name", SQLType.STRING)])
+    db.insert("categories", [(i, f"cat-{i}") for i in range(5)])
+    db.insert("items", [(i, i % 5, float(i) * 1.5, f"item-{i}")
+                        for i in range(100)])
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> Database:
+    """A small TPC-H database shared by integration tests (read only)."""
+    return populate_tpch(scale_factor=0.03, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tpch_db_tiny() -> Database:
+    """An even smaller TPC-H instance for expensive cross-mode comparisons."""
+    return populate_tpch(scale_factor=0.01, seed=13)
+
+
+def normalized(rows, digits: int = 4):
+    """Round floats so results can be compared across execution engines."""
+    out = []
+    for row in rows:
+        out.append(tuple(round(value, digits) if isinstance(value, float)
+                         else value for value in row))
+    return out

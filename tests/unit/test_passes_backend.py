@@ -1,0 +1,208 @@
+"""Unit tests for the IR optimization passes and the compiled backends."""
+
+import pytest
+
+from repro.backend import compile_optimized, compile_unoptimized
+from repro.backend.cost_model import CostModel, default_cost_model
+from repro.ir import Constant, ExternFunction, Function, IRBuilder, verify_function
+from repro.ir.types import i1, i64, ptr, void
+from repro.passes import (
+    CommonSubexpressionEliminationPass,
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    PeepholePass,
+    SimplifyCFGPass,
+    default_pipeline,
+)
+from repro.vm import VirtualMachine, translate_function
+
+
+def make_redundant_function():
+    """Function full of foldable / duplicated / dead instructions."""
+    values = []
+    sink = ExternFunction("sink", [i64], void, values.append)
+    function = Function("messy", [i64], ["x"], i64)
+    builder = IRBuilder(function)
+    x = function.args[0]
+    # constant-foldable
+    folded = builder.mul(builder.const_i64(6), builder.const_i64(7))
+    # peephole-foldable
+    plus_zero = builder.add(x, builder.const_i64(0))
+    times_one = builder.mul(plus_zero, builder.const_i64(1))
+    # duplicated expression (CSE)
+    first = builder.add(times_one, folded)
+    second = builder.add(times_one, folded)
+    # dead value
+    builder.sub(x, builder.const_i64(3))
+    builder.call(sink, [first])
+    builder.call(sink, [second])
+    builder.ret(first)
+    return function, values, sink
+
+
+class TestPasses:
+    def test_constant_folding(self):
+        function, _, _ = make_redundant_function()
+        before = function.instruction_count()
+        assert ConstantFoldingPass().run(function)
+        assert function.instruction_count() < before
+        verify_function(function)
+
+    def test_peephole_removes_identities(self):
+        function, _, _ = make_redundant_function()
+        ConstantFoldingPass().run(function)
+        assert PeepholePass().run(function)
+        opcodes = [inst.opcode for inst in function.instructions()]
+        # x + 0 and x * 1 should both be gone.
+        assert opcodes.count("add") <= 2
+        verify_function(function)
+
+    def test_cse_deduplicates(self):
+        function, _, _ = make_redundant_function()
+        ConstantFoldingPass().run(function)
+        PeepholePass().run(function)
+        assert CommonSubexpressionEliminationPass().run(function)
+        verify_function(function)
+
+    def test_dce_removes_unused(self):
+        function, _, _ = make_redundant_function()
+        before = function.instruction_count()
+        assert DeadCodeEliminationPass().run(function)
+        assert function.instruction_count() < before
+        verify_function(function)
+
+    def test_dce_keeps_side_effects(self):
+        function, _, sink = make_redundant_function()
+        DeadCodeEliminationPass().run(function)
+        calls = [inst for inst in function.instructions()
+                 if inst.opcode == "call"]
+        assert len(calls) == 2
+
+    def test_simplify_cfg_folds_constant_branch(self):
+        function = Function("branchy", [i64], ["x"], i64)
+        builder = IRBuilder(function)
+        then_block = builder.new_block("then")
+        else_block = builder.new_block("else")
+        builder.condbr(Constant(i1, 1), then_block, else_block)
+        IRBuilder(function, then_block).ret(builder.const_i64(1))
+        IRBuilder(function, else_block).ret(builder.const_i64(2))
+        assert SimplifyCFGPass().run(function)
+        verify_function(function)
+        assert len(function.blocks) <= 2
+
+    def test_pipeline_preserves_semantics(self):
+        function, values, _ = make_redundant_function()
+        bytecode, _ = translate_function(function)
+        values.clear()
+        original = VirtualMachine().execute(bytecode, [5])
+        original_calls = list(values)
+
+        default_pipeline().run_function(function)
+        verify_function(function)
+        bytecode, _ = translate_function(function)
+        values.clear()
+        optimized = VirtualMachine().execute(bytecode, [5])
+        assert optimized == original
+        assert list(values) == original_calls
+
+    def test_pass_stats_recorded(self):
+        function, _, _ = make_redundant_function()
+        stats = default_pipeline().run_function(function)
+        assert stats.instructions_before >= stats.instructions_after
+        assert stats.total_seconds >= 0
+        assert stats.per_pass_seconds
+
+
+class TestBackends:
+    def _accumulating_function(self):
+        out = []
+        sink = ExternFunction("collect", [i64], void, out.append)
+        function = Function("worker", [ptr, i64, i64],
+                            ["state", "begin", "end"])
+        builder = IRBuilder(function)
+        data = list(range(200))
+        column = builder.const_ptr((data, 0))
+        index, _, _, close = builder.count_loop(function.args[1],
+                                                function.args[2])
+        error = None
+        value = builder.load(i64, builder.gep(column, index))
+        squared = builder.mul(value, value)
+        shifted = builder.add(squared, builder.const_i64(3))
+        builder.call(sink, [shifted])
+        close()
+        builder.ret()
+        return function, out
+
+    def test_unoptimized_matches_bytecode(self):
+        function, out = self._accumulating_function()
+        bytecode, _ = translate_function(function)
+        out.clear()
+        VirtualMachine().execute(bytecode, [None, 5, 25])
+        expected = list(out)
+        compiled = compile_unoptimized(function)
+        out.clear()
+        compiled(None, 5, 25)
+        assert out == expected
+
+    def test_optimized_matches_bytecode(self):
+        function, out = self._accumulating_function()
+        bytecode, _ = translate_function(function)
+        out.clear()
+        VirtualMachine().execute(bytecode, [None, 5, 25])
+        expected = list(out)
+        compiled = compile_optimized(function)
+        out.clear()
+        compiled(None, 5, 25)
+        assert out == expected
+
+    def test_optimized_does_not_mutate_original(self):
+        function, _ = self._accumulating_function()
+        before = function.instruction_count()
+        compile_optimized(function)
+        assert function.instruction_count() == before
+
+    def test_compile_seconds_recorded(self):
+        function, _ = self._accumulating_function()
+        unopt = compile_unoptimized(function)
+        opt = compile_optimized(function)
+        assert unopt.compile_seconds > 0
+        assert opt.compile_seconds > 0
+        assert opt.pass_seconds >= 0
+
+    def test_tier_names(self):
+        function, _ = self._accumulating_function()
+        assert compile_unoptimized(function).tier == "unoptimized"
+        assert compile_optimized(function).tier == "optimized"
+
+
+class TestCostModel:
+    def test_compile_time_grows_with_size(self):
+        model = default_cost_model()
+        small = model.compile_seconds("optimized", 100)
+        large = model.compile_seconds("optimized", 10_000)
+        assert large > small
+
+    def test_optimized_costs_more_than_unoptimized(self):
+        model = default_cost_model()
+        assert model.compile_seconds("optimized", 1000) > \
+            model.compile_seconds("unoptimized", 1000)
+        assert model.compile_seconds("unoptimized", 1000) > \
+            model.compile_seconds("bytecode", 1000)
+
+    def test_speedups_ordered(self):
+        model = default_cost_model()
+        assert model.speedup("optimized") >= model.speedup("unoptimized") \
+            >= model.speedup("bytecode") == 1.0
+
+    def test_fit_updates_estimate(self):
+        model = CostModel()
+        samples = [(100, 0.001), (1000, 0.01), (10_000, 0.1)]
+        estimate = model.fit("unoptimized", samples, speedup=2.5)
+        assert estimate.per_instruction_seconds == pytest.approx(1e-5, rel=0.2)
+        assert model.speedup("unoptimized") == 2.5
+
+    def test_fit_with_single_sample_keeps_previous(self):
+        model = CostModel()
+        before = model.compile_seconds("optimized", 500)
+        model.fit("optimized", [(100, 0.5)])
+        assert model.compile_seconds("optimized", 500) == before

@@ -1,0 +1,167 @@
+"""Unit tests for the optimizer/planner and the code generator."""
+
+import pytest
+
+from repro import Database, SQLType
+from repro.codegen import CodeGenerator, QueryState
+from repro.ir import verify_module
+from repro.optimizer import Planner
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    explain,
+)
+from repro.plan.physical import (
+    AggregateSink,
+    HashBuildSink,
+    OutputSink,
+    PhysFilter,
+    PhysHashProbe,
+    TableSource,
+)
+from repro.semantics import Binder
+from repro.sqlparser import parse
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("facts", [("f_id", SQLType.INT64),
+                                    ("f_dim", SQLType.INT64),
+                                    ("f_other", SQLType.INT64),
+                                    ("f_value", SQLType.FLOAT64)])
+    database.create_table("dim", [("d_id", SQLType.INT64),
+                                  ("d_name", SQLType.STRING)])
+    database.create_table("other", [("x_id", SQLType.INT64),
+                                    ("x_flag", SQLType.INT64)])
+    database.insert("dim", [(i, f"dim{i}") for i in range(10)])
+    database.insert("other", [(i, i % 2) for i in range(20)])
+    database.insert("facts", [(i, i % 10, i % 20, float(i)) for i in range(500)])
+    return database
+
+
+def plan(db, sql):
+    bound = Binder(db.catalog).bind(parse(sql))
+    return Planner(db.catalog).plan(bound)
+
+
+class TestPlanner:
+    def test_scan_only_query_single_pipeline(self, db):
+        result = plan(db, "select f_id from facts where f_id < 10")
+        assert len(result.physical.pipelines) == 1
+        pipeline = result.physical.pipelines[0]
+        assert isinstance(pipeline.source, TableSource)
+        assert isinstance(pipeline.sink, OutputSink)
+        assert any(isinstance(op, PhysFilter) for op in pipeline.operators)
+
+    def test_join_creates_build_and_probe_pipelines(self, db):
+        result = plan(db, "select d_name, f_value from facts, dim "
+                          "where f_dim = d_id")
+        kinds = [type(p.sink).__name__ for p in result.physical.pipelines]
+        assert kinds == ["HashBuildSink", "OutputSink"]
+        probe_pipeline = result.physical.pipelines[-1]
+        assert any(isinstance(op, PhysHashProbe)
+                   for op in probe_pipeline.operators)
+
+    def test_driver_is_largest_table(self, db):
+        result = plan(db, "select d_name, f_value from facts, dim "
+                          "where f_dim = d_id")
+        probe_pipeline = result.physical.pipelines[-1]
+        assert probe_pipeline.source.table.name == "facts"
+
+    def test_aggregation_adds_hash_table_scan_pipeline(self, db):
+        result = plan(db, "select f_dim, sum(f_value) from facts group by f_dim")
+        labels = [p.label for p in result.physical.pipelines]
+        assert labels[-1] == "hash table scan"
+        assert isinstance(result.physical.pipelines[0].sink, AggregateSink)
+
+    def test_three_way_join_pipeline_count(self, db):
+        result = plan(db, "select count(*) from facts, dim, other "
+                          "where f_dim = d_id and f_other = x_id")
+        # two builds + one aggregating probe + one output scan
+        assert len(result.physical.pipelines) == 4
+
+    def test_filter_pushdown_into_build_side(self, db):
+        result = plan(db, "select d_name, f_value from facts, dim "
+                          "where f_dim = d_id and d_name = 'dim3'")
+        build = result.physical.pipelines[0]
+        assert isinstance(build.sink, HashBuildSink)
+        assert any(isinstance(op, PhysFilter) for op in build.operators)
+
+    def test_payload_contains_needed_columns_only(self, db):
+        result = plan(db, "select d_name, f_value from facts, dim "
+                          "where f_dim = d_id")
+        build = result.physical.pipelines[0].sink
+        payload_names = [c.column for c in build.payload_columns]
+        assert "d_name" in payload_names
+
+    def test_logical_plan_shape(self, db):
+        result = plan(db, "select f_dim, sum(f_value) as s from facts, dim "
+                          "where f_dim = d_id group by f_dim "
+                          "order by s desc limit 5")
+        node = result.logical
+        assert isinstance(node, LogicalLimit)
+        assert isinstance(node.child, LogicalSort)
+        text = explain(result.logical)
+        assert "HashJoin" in text and "Aggregate" in text and "Scan" in text
+
+    def test_residual_or_predicate_kept(self, db):
+        result = plan(db, "select count(*) from facts, dim where f_dim = d_id "
+                          "and (d_name = 'dim1' or f_value > 100.0)")
+        probe_pipeline = result.physical.pipelines[1]
+        filters = [op for op in probe_pipeline.operators
+                   if isinstance(op, PhysFilter)]
+        assert filters  # the OR predicate is applied after the probe
+
+    def test_estimates_positive(self, db):
+        result = plan(db, "select f_id from facts where f_id < 10")
+        assert result.physical.pipelines[0].estimated_rows >= 1
+
+
+class TestCodeGenerator:
+    def generate(self, db, sql):
+        bound = Binder(db.catalog).bind(parse(sql))
+        planning = Planner(db.catalog).plan(bound)
+        state = QueryState(planning.physical)
+        return CodeGenerator(planning.physical, state).generate()
+
+    def test_one_worker_per_pipeline(self, db):
+        generated = self.generate(db, "select f_dim, sum(f_value) from facts "
+                                      "group by f_dim")
+        assert len(generated.module.functions) == len(generated.pipelines)
+        for name in generated.module.functions:
+            assert name.startswith("worker")
+
+    def test_module_verifies(self, db):
+        generated = self.generate(
+            db, "select d_name, sum(f_value) from facts, dim "
+                "where f_dim = d_id and f_value > 10.0 "
+                "group by d_name order by d_name")
+        verify_module(generated.module)
+
+    def test_worker_signature(self, db):
+        generated = self.generate(db, "select f_id from facts")
+        worker = generated.pipelines[0].function
+        assert [arg.name for arg in worker.args] == ["state", "morsel_begin",
+                                                     "morsel_end"]
+
+    def test_instruction_count_scales_with_aggregates(self, db):
+        small = self.generate(db, "select sum(f_value) from facts")
+        large = self.generate(
+            db, "select " + ", ".join(f"sum(f_value * {i})"
+                                      for i in range(1, 21)) + " from facts")
+        assert large.instruction_count > small.instruction_count
+
+    def test_finish_step_only_for_aggregates(self, db):
+        generated = self.generate(db, "select f_dim, count(*) from facts "
+                                      "group by f_dim")
+        finishes = [p.finish is not None for p in generated.pipelines]
+        assert finishes == [True, False]
+
+    def test_codegen_seconds_recorded(self, db):
+        generated = self.generate(db, "select f_id from facts")
+        assert generated.codegen_seconds > 0

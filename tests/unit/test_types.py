@@ -1,0 +1,100 @@
+"""Unit tests for repro.types."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.types import (
+    DECIMAL_SCALE,
+    SQLType,
+    common_numeric_type,
+    date_to_days,
+    days_to_date,
+    decimal_to_scaled,
+    decode_internal_value,
+    encode_python_value,
+    scaled_to_decimal,
+)
+
+
+class TestSQLType:
+    def test_numeric_classification(self):
+        assert SQLType.INT64.is_numeric
+        assert SQLType.FLOAT64.is_numeric
+        assert SQLType.DECIMAL.is_numeric
+        assert not SQLType.STRING.is_numeric
+        assert not SQLType.DATE.is_numeric
+
+    def test_integer_backed(self):
+        assert SQLType.INT64.is_integer_backed
+        assert SQLType.DATE.is_integer_backed
+        assert not SQLType.FLOAT64.is_integer_backed
+
+    @pytest.mark.parametrize("left,right,expected", [
+        (SQLType.INT64, SQLType.INT64, SQLType.INT64),
+        (SQLType.INT64, SQLType.FLOAT64, SQLType.FLOAT64),
+        (SQLType.DECIMAL, SQLType.INT64, SQLType.DECIMAL),
+        (SQLType.FLOAT64, SQLType.DECIMAL, SQLType.FLOAT64),
+    ])
+    def test_common_numeric_type(self, left, right, expected):
+        assert common_numeric_type(left, right) is expected
+
+    def test_common_numeric_type_rejects_strings(self):
+        with pytest.raises(CatalogError):
+            common_numeric_type(SQLType.STRING, SQLType.INT64)
+
+
+class TestDates:
+    def test_roundtrip(self):
+        date = dt.date(1995, 3, 15)
+        assert days_to_date(date_to_days(date)) == date
+
+    def test_epoch(self):
+        assert date_to_days(dt.date(1970, 1, 1)) == 0
+
+    def test_from_string(self):
+        assert date_to_days("1970-01-02") == 1
+
+    def test_ordering_preserved(self):
+        assert date_to_days("1995-01-01") < date_to_days("1996-01-01")
+
+
+class TestDecimals:
+    def test_roundtrip(self):
+        assert scaled_to_decimal(decimal_to_scaled(12.34)) == pytest.approx(12.34)
+
+    def test_scale(self):
+        assert decimal_to_scaled(1.0) == DECIMAL_SCALE
+
+    def test_rounding(self):
+        assert decimal_to_scaled(0.005) in (0, 1)  # banker's rounding allowed
+
+
+class TestEncoding:
+    def test_encode_int(self):
+        assert encode_python_value(7, SQLType.INT64) == 7
+
+    def test_encode_date(self):
+        assert encode_python_value("1970-01-03", SQLType.DATE) == 2
+        assert encode_python_value(dt.date(1970, 1, 3), SQLType.DATE) == 2
+
+    def test_encode_decimal(self):
+        assert encode_python_value(1.5, SQLType.DECIMAL) == 150
+
+    def test_encode_bool(self):
+        assert encode_python_value(True, SQLType.BOOL) == 1
+        assert encode_python_value(False, SQLType.BOOL) == 0
+
+    def test_encode_null_rejected(self):
+        with pytest.raises(CatalogError):
+            encode_python_value(None, SQLType.INT64)
+
+    def test_decode_date(self):
+        assert decode_internal_value(2, SQLType.DATE) == dt.date(1970, 1, 3)
+
+    def test_decode_decimal(self):
+        assert decode_internal_value(150, SQLType.DECIMAL) == pytest.approx(1.5)
+
+    def test_decode_bool(self):
+        assert decode_internal_value(1, SQLType.BOOL) is True
