@@ -14,11 +14,12 @@ from conftest import fmt_ms, print_table, tpch_query_set
 
 
 def _measure_query(db, sql):
+    # use_cache=False: Table I reports cold planning/compilation phases.
     volcano = db.execute(sql, mode="volcano").timings
     vectorized = db.execute(sql, mode="vectorized").timings
-    bytecode = db.execute(sql, mode="bytecode").timings
-    unoptimized = db.execute(sql, mode="unoptimized").timings
-    optimized = db.execute(sql, mode="optimized").timings
+    bytecode = db.execute(sql, mode="bytecode", use_cache=False).timings
+    unoptimized = db.execute(sql, mode="unoptimized", use_cache=False).timings
+    optimized = db.execute(sql, mode="optimized", use_cache=False).timings
     return {
         "pg_plan": volcano.planning,
         "monet_plan": vectorized.planning,

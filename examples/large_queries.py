@@ -27,10 +27,12 @@ def main() -> None:
     for num_aggregates in (10, 50, 150, 400):
         sql = wide_aggregate_query(num_aggregates)
 
-        bytecode = db.execute(sql, mode="bytecode")
-        unoptimized = db.execute(sql, mode="unoptimized")
-        optimized = db.execute(sql, mode="optimized")
-        adaptive = db.execute(sql, mode="adaptive")
+        # use_cache=False: the point of this table is the *cold* preparation
+        # cost per tier; a plan-cache hit would report 0 for those phases.
+        bytecode = db.execute(sql, mode="bytecode", use_cache=False)
+        unoptimized = db.execute(sql, mode="unoptimized", use_cache=False)
+        optimized = db.execute(sql, mode="optimized", use_cache=False)
+        adaptive = db.execute(sql, mode="adaptive", use_cache=False)
 
         print(f"{num_aggregates:>10} {bytecode.ir_instructions:>9} | "
               f"{bytecode.timings.compile * 1000:>11.1f} ms "

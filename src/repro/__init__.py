@@ -31,13 +31,16 @@ from .engine import (
     BASELINE_MODES,
     DEFAULT_MORSEL_SIZE,
 )
+from .cache import CacheStats, PlanCache, normalize_sql
 from .errors import ReproError
+from .prepared import PreparedQuery
 from .types import SQLType
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database", "QueryResult", "PhaseTimings", "PipelineExecution",
+    "PreparedQuery", "PlanCache", "CacheStats", "normalize_sql",
     "SQLType", "ReproError",
     "ENGINE_MODES", "BASELINE_MODES", "DEFAULT_MORSEL_SIZE",
     "__version__",

@@ -49,12 +49,18 @@ class AdaptiveExecutor:
     def __init__(self, database, num_threads: int = 1,
                  collect_trace: bool = False,
                  cost_model: Optional[CostModel] = None,
-                 policy: Optional[AdaptivePolicy] = None):
+                 policy: Optional[AdaptivePolicy] = None,
+                 handles: Optional[dict[int, FunctionHandle]] = None):
         self.database = database
         self.num_threads = max(num_threads, 1)
         self.collect_trace = collect_trace
         self.cost_model = cost_model or default_cost_model()
         self.policy = policy or AdaptivePolicy(self.cost_model)
+        #: Optional shared ``pipeline index -> FunctionHandle`` map.  A
+        #: prepared query passes its own dict here so bytecode translations
+        #: and compiled tiers survive across executions (the compile work is
+        #: paid once, later runs start in the best tier already reached).
+        self.handles = handles
 
     # ------------------------------------------------------------------ #
     def execute(self, generated: GeneratedQuery, planning: PlanningResult,
@@ -63,9 +69,9 @@ class AdaptiveExecutor:
         query_start = time.perf_counter()
         pipeline_stats: list[PipelineExecution] = []
 
-        for pipeline in generated.pipelines:
-            stats = self._run_pipeline(pipeline, generated, trace, query_start,
-                                       timings)
+        for index, pipeline in enumerate(generated.pipelines):
+            stats = self._run_pipeline(index, pipeline, generated, trace,
+                                       query_start, timings)
             pipeline_stats.append(stats)
 
         return self.database._assemble_result(
@@ -73,13 +79,17 @@ class AdaptiveExecutor:
             trace=trace if self.collect_trace else None)
 
     # ------------------------------------------------------------------ #
-    def _run_pipeline(self, pipeline: GeneratedPipeline,
+    def _run_pipeline(self, index: int, pipeline: GeneratedPipeline,
                       generated: GeneratedQuery, trace: ExecutionTrace,
                       query_start: float,
                       timings: PhaseTimings) -> PipelineExecution:
         rows = generated.state.source_row_count(pipeline.pipeline)
-        handle = FunctionHandle(pipeline.function, vm=self.database._vm)
-        timings.compile += handle.bytecode_seconds
+        handle = self.handles.get(index) if self.handles is not None else None
+        if handle is None:
+            handle = FunctionHandle(pipeline.function, vm=self.database._vm)
+            timings.compile += handle.bytecode_seconds
+            if self.handles is not None:
+                self.handles[index] = handle
 
         progress = PipelineProgress(rows, self.num_threads)
         dispatcher = MorselDispatcher(
@@ -88,6 +98,12 @@ class AdaptiveExecutor:
                              self.database.morsel_size))
         decision_lock = threading.Lock()
         compile_threads: list[threading.Thread] = []
+        #: Wall-clock seconds of finished background compilations.  Appended
+        #: from the compiler threads (list.append is atomic under the GIL)
+        #: and summed into ``timings.compile`` after they are joined, so the
+        #: multi-threaded path accounts compilation exactly like the
+        #: synchronous w=1 path does.
+        background_compile_seconds: list[float] = []
         pipeline_start = time.perf_counter()
 
         def maybe_switch(now: float, thread_id: int) -> None:
@@ -130,8 +146,16 @@ class AdaptiveExecutor:
                                          compile_end - query_start,
                                          "compile", pipeline.name,
                                          target.tier_name))
+                    background_compile_seconds.append(
+                        compile_end - compile_start)
                     progress.reset_rates()
 
+                # Mark the handle as compiling *before* releasing the decision
+                # lock: ``handle.compile`` only sets the marker once the
+                # background thread is scheduled, so without this a second
+                # evaluation in that window would spawn a duplicate compile
+                # thread for the same target.
+                handle.compiling = target
                 job = threading.Thread(target=compile_job,
                                        name=f"compile-{pipeline.name}",
                                        daemon=True)
@@ -169,6 +193,7 @@ class AdaptiveExecutor:
                     thread.join()
         for job in compile_threads:
             job.join()
+        timings.compile += sum(background_compile_seconds)
 
         if pipeline.finish is not None:
             pipeline.finish()
@@ -191,13 +216,17 @@ class StaticParallelExecutor:
     """Morsel-parallel execution with a single, statically chosen tier."""
 
     def __init__(self, database, mode: str, num_threads: int = 1,
-                 collect_trace: bool = False):
+                 collect_trace: bool = False,
+                 tiers: Optional[dict] = None):
         if mode not in ("bytecode", "unoptimized", "optimized", "ir-interp"):
             raise AdaptiveError(f"unsupported static tier {mode!r}")
         self.database = database
         self.mode = mode
         self.num_threads = max(num_threads, 1)
         self.collect_trace = collect_trace
+        #: Optional shared ``(pipeline index, mode) -> executable`` tier
+        #: cache, provided by a prepared query (see engine._tier_for).
+        self.tiers = tiers
 
     def execute(self, generated: GeneratedQuery, planning: PlanningResult,
                 timings: PhaseTimings) -> QueryResult:
@@ -208,9 +237,9 @@ class StaticParallelExecutor:
         # Up-front, single-threaded compilation of every worker function --
         # while this runs, all worker threads are idle (paper Section II-A).
         executables = []
-        for pipeline in generated.pipelines:
-            executable, compile_seconds = self.database._prepare_tier(
-                pipeline.function, self.mode)
+        for index, pipeline in enumerate(generated.pipelines):
+            executable, compile_seconds = self.database._tier_for(
+                pipeline.function, index, self.mode, self.tiers)
             timings.compile += compile_seconds
             executables.append(executable)
 

@@ -46,6 +46,9 @@ class FunctionHandle:
         self.function = function
         self.vm = vm or VirtualMachine()
         self._lock = threading.Lock()
+        #: Serializes compilations of this handle so that two concurrent
+        #: ``compile`` calls can never translate the same tier twice.
+        self._compile_lock = threading.Lock()
 
         start = time.perf_counter()
         self._bytecode, self._translation_stats = translate_function(function)
@@ -96,24 +99,29 @@ class FunctionHandle:
 
         Returns the compile time in seconds.  Installing a slower mode than
         the current one is a no-op apart from making the variant available.
+        Concurrent calls serialize on a per-handle lock: the loser of the
+        race observes the winner's cached variant instead of recompiling.
         """
         if mode is ExecutionMode.BYTECODE:
             return self.bytecode_seconds
-        with self._lock:
-            if mode in self._compiled:
-                return self._compile_seconds[mode]
-            self.compiling = mode
-        try:
-            compiled = compile_function(self.function, mode.tier_name)
-        finally:
+        with self._compile_lock:
             with self._lock:
-                self.compiling = None
-        with self._lock:
-            self._compiled[mode] = compiled
-            self._compile_seconds[mode] = compiled.compile_seconds
-            if mode > self._current_mode:
-                self._current = compiled
-                self._current_mode = mode
+                if mode in self._compiled:
+                    if self.compiling is mode:
+                        self.compiling = None
+                    return self._compile_seconds[mode]
+                self.compiling = mode
+            try:
+                compiled = compile_function(self.function, mode.tier_name)
+                with self._lock:
+                    self._compiled[mode] = compiled
+                    self._compile_seconds[mode] = compiled.compile_seconds
+                    if mode > self._current_mode:
+                        self._current = compiled
+                        self._current_mode = mode
+            finally:
+                with self._lock:
+                    self.compiling = None
         return compiled.compile_seconds
 
     def install_external(self, mode: ExecutionMode, callable_: Callable,

@@ -93,7 +93,10 @@ def profile_query(database, sql: str, label: str = "",
     planning_seconds = 0.0
     codegen_seconds = 0.0
     for tier in TIER_NAMES:
-        result = database.execute(sql, mode=tier, threads=1)
+        # use_cache=False: a plan-cache hit reports 0 for the planning,
+        # codegen and compile phases, which are exactly the quantities the
+        # simulator needs measured cold.
+        result = database.execute(sql, mode=tier, threads=1, use_cache=False)
         runs[tier] = result
         planning_seconds = result.timings.planning
         codegen_seconds = result.timings.codegen

@@ -1,0 +1,172 @@
+"""Plan/artifact caching for repeated queries.
+
+Compilation latency dominates short queries (paper Table I / Fig. 1), so a
+system serving repeated query traffic must not pay parsing, semantic
+analysis, planning, code generation and tier compilation on every call.
+:class:`PlanCache` is a small LRU cache mapping *normalized* SQL text to
+:class:`repro.prepared.PreparedQuery` entries; :meth:`repro.engine.Database.execute`
+consults it transparently and :meth:`repro.engine.Database.prepare_query`
+exposes it explicitly.
+
+Entries are invalidated through the catalog's version counters: every DDL
+operation and every ``insert`` bumps the version of the affected table, and
+an entry whose referenced-table versions no longer match is dropped on
+lookup (a stale plan could carry outdated cardinality estimates, and a
+dropped/recreated table would leave the generated code pointing at orphaned
+column buffers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+def normalize_sql(sql: str) -> str:
+    """Normalize SQL text for use as a plan-cache key.
+
+    Comments (``--`` to end of line, ``/* ... */``) are stripped exactly as
+    the lexer skips them, whitespace runs are collapsed to a single space,
+    leading/trailing whitespace is stripped and everything outside
+    single-quoted string literals is lowercased (identifiers and keywords
+    are case-insensitive in this dialect; string literals are not).
+    Stripping comments *before* collapsing whitespace matters: collapsing a
+    newline would otherwise extend a line comment over the following tokens
+    and make semantically different queries collide on one key.
+    """
+    out: list[str] = []
+    pending_space = False
+    i, length = 0, len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch == "-" and sql.startswith("--", i):
+            # Line comment: acts as whitespace up to the end of the line.
+            newline = sql.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            pending_space = True
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            # Block comment: acts as whitespace.  An *unterminated* comment
+            # is kept verbatim in the key: the lexer rejects the statement,
+            # so its key must never collide with the valid form's (a cache
+            # hit would otherwise mask the LexerError).
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                if pending_space and out:
+                    out.append(" ")
+                out.append(sql[i:])
+                i = length
+                pending_space = False
+                continue
+            i = end + 2
+            pending_space = True
+            continue
+        if ch == "'":
+            # Copy the string literal verbatim, including '' escapes.
+            end = i + 1
+            while end < length:
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        end += 2
+                        continue
+                    break
+                end += 1
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(sql[i:min(end + 1, length)])
+            i = end + 1
+            continue
+        if ch.isspace():
+            pending_space = True
+            i += 1
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.lower())
+        i += 1
+    return "".join(out)
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`PlanCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """A thread-safe LRU cache of prepared queries keyed by normalized SQL.
+
+    Entries must provide an ``is_valid()`` predicate (duck-typed); an entry
+    that reports itself invalid -- because a referenced table's catalog
+    version changed -- is dropped on lookup and counted as an invalidation.
+    A capacity of 0 disables the cache entirely.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str):
+        """The cached entry for ``key``, or ``None`` on miss/invalidation."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            is_valid = getattr(entry, "is_valid", None)
+            if is_valid is not None and not is_valid():
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: str, entry) -> None:
+        """Insert ``entry`` under ``key``, evicting the LRU tail if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from typing import Iterable, Optional, Sequence
 
 from ..errors import CatalogError
@@ -12,11 +14,34 @@ from .table import Table
 
 
 class Catalog:
-    """Holds every table of a database instance."""
+    """Holds every table of a database instance.
+
+    Every DDL operation and every statistics invalidation bumps a global
+    version counter and records the new value for the affected table.  Cached
+    query plans snapshot the versions of the tables they reference and drop
+    out of the plan cache when any of them changes (see :mod:`repro.cache`).
+    """
 
     def __init__(self):
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
+        #: Global, monotonically increasing DDL/statistics counter.
+        self.version = 0
+        #: Per-table version: the global counter value of its last change.
+        self._versions: dict[str, int] = {}
+        #: Guards the read-modify-write of the version counters: concurrent
+        #: inserts losing an increment would let a stale cached plan pass
+        #: its validity check.
+        self._version_lock = threading.Lock()
+
+    def _bump_version(self, key: str) -> None:
+        with self._version_lock:
+            self.version += 1
+            self._versions[key] = self.version
+
+    def table_version(self, name: str) -> int:
+        """The version counter of one table (0 if it never existed)."""
+        return self._versions.get(name.lower(), 0)
 
     # ------------------------------------------------------------------ #
     # DDL
@@ -28,6 +53,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(TableSchema.of(name, columns))
         self._tables[key] = table
+        self._bump_version(key)
         return table
 
     def register_table(self, table: Table) -> Table:
@@ -35,6 +61,7 @@ class Catalog:
         if key in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[key] = table
+        self._bump_version(key)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -43,6 +70,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
         self._statistics.pop(key, None)
+        self._bump_version(key)
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -78,5 +106,8 @@ class Catalog:
     def invalidate_statistics(self, name: Optional[str] = None) -> None:
         if name is None:
             self._statistics.clear()
+            for key in self._tables:
+                self._bump_version(key)
         else:
             self._statistics.pop(name.lower(), None)
+            self._bump_version(name.lower())

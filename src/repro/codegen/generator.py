@@ -60,7 +60,20 @@ class GeneratedPipeline:
 
 @dataclass
 class GeneratedQuery:
-    """The complete generated program of one query execution."""
+    """The complete generated program of one query.
+
+    The artefacts split into two halves:
+
+    * **Immutable artefacts** -- ``module``, ``pipelines`` (the IR worker
+      functions), ``output_sink`` and ``codegen_seconds``.  These are fixed
+      once generation finishes and can be shared by many executions; the
+      bytecode translations and compiled tiers derived from them are equally
+      reusable (see :class:`repro.prepared.PreparedQuery`).
+    * **Per-execution state** -- ``state`` (and the ``runtime`` closures bound
+      to it).  The generated code references the state's containers by
+      identity, so re-execution works by resetting those containers in place
+      via :meth:`reset_for_execution` rather than by allocating a new state.
+    """
 
     module: Module
     pipelines: list[GeneratedPipeline]
@@ -72,6 +85,10 @@ class GeneratedQuery:
     @property
     def instruction_count(self) -> int:
         return self.module.instruction_count()
+
+    def reset_for_execution(self) -> None:
+        """Reset the mutable execution state; all artefacts stay valid."""
+        self.state.reset()
 
 
 class CodeGenerator:

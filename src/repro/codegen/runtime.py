@@ -63,6 +63,27 @@ class QueryState:
                 self.intermediate_rows[sink.agg_id] = 0
 
     # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear all per-execution state in place for a fresh execution.
+
+        Generated code and the runtime closures hold direct references to
+        these containers (join hash tables, aggregation tables, intermediate
+        column lists, the output row list), so the containers are cleared
+        rather than replaced: object identity must survive a reset for a
+        cached/prepared query to stay executable.
+        """
+        for table in self.hash_tables.values():
+            table.clear()
+        for table in self.agg_tables.values():
+            table.clear()
+        for columns in self.intermediate_columns.values():
+            for column in columns:
+                column.clear()
+        for agg_id in self.intermediate_rows:
+            self.intermediate_rows[agg_id] = 0
+        self.output_rows.clear()
+
+    # ------------------------------------------------------------------ #
     def source_row_count(self, pipeline: Pipeline) -> int:
         """Number of input rows of a pipeline (known once its inputs exist)."""
         source = pipeline.source
@@ -262,8 +283,12 @@ class QueryRuntime:
         return emit
 
     def finish_output(self, sink: OutputSink) -> list[tuple]:
-        """Apply DISTINCT / ORDER BY / LIMIT to the collected rows."""
-        rows = self.state.output_rows
+        """Apply DISTINCT / ORDER BY / LIMIT to the collected rows.
+
+        Returns a fresh list: the collected row list is reused (and cleared)
+        across executions of a prepared query, so results must never alias it.
+        """
+        rows = list(self.state.output_rows)
         if sink.distinct:
             seen = set()
             unique = []

@@ -1,0 +1,188 @@
+"""Prepared queries: plan and generate code once, execute many times.
+
+A :class:`PreparedQuery` pins the immutable artifacts of one query -- the
+physical plan, the generated IR module and the per-pipeline worker functions
+-- together with the mutable :class:`repro.codegen.QueryState` the generated
+code is bound to.  Re-execution resets that state in place (the generated
+code references its containers by identity) and reuses every artifact the
+previous executions already paid for:
+
+* parse / bind / plan / codegen are never repeated,
+* bytecode translations and compiled tiers of the static modes are cached
+  per ``(pipeline, mode)``,
+* the adaptive mode keeps its :class:`repro.adaptive.FunctionHandle` per
+  pipeline, so a tier the Fig. 7 policy compiled in an earlier run is simply
+  *the current mode* of the next run -- the compile cost is paid once.
+
+Because the artifacts are bound to a single ``QueryState``, executions of one
+``PreparedQuery`` are serialized by an internal lock; calling ``execute``
+from many threads is safe, and distinct prepared queries execute fully
+concurrently.  Each execution itself remains morsel-parallel across worker
+threads.  ``Database.execute`` never blocks on a busy entry: it uses
+:meth:`PreparedQuery.execute_nowait` and falls back to an independent cold
+build when another thread holds the cached entry.
+
+Stale plans are detected through the catalog's per-table version counters:
+an ``insert`` or DDL on a referenced table invalidates the entry (the plan
+cache drops it; a directly held ``PreparedQuery`` transparently re-prepares
+itself on the next ``execute``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Optional
+
+from .adaptive import AdaptiveExecutor, StaticParallelExecutor
+from .engine import ENGINE_MODES, PhaseTimings, QueryResult
+from .errors import ExecutionError
+from .plan.physical import TableSource
+
+
+def referenced_tables(planning) -> frozenset[str]:
+    """The lower-cased names of all base tables a physical plan reads."""
+    names = set()
+    for pipeline in planning.physical.pipelines:
+        source = pipeline.source
+        if isinstance(source, TableSource):
+            names.add(source.table.name.lower())
+    return frozenset(names)
+
+
+class PreparedQuery:
+    """One query's cached plan, code and compiled execution tiers."""
+
+    def __init__(self, database, sql: str, generated, planning,
+                 build_timings: PhaseTimings, catalog_version: int):
+        self.database = database
+        self.sql = sql
+        self.generated = generated
+        self.planning = planning
+        #: Phase timings of building this entry (parse/bind/plan/codegen);
+        #: reported by the first execution, skipped by every later one.
+        self.build_timings = build_timings
+        #: Global catalog version snapshotted *before* the plan was built.
+        #: A referenced table whose version exceeds this changed during or
+        #: after the build window, so the plan is stale either way; taking
+        #: the snapshot first closes the race in which a concurrent change
+        #: between generation and capture would stamp a stale plan as valid.
+        self._catalog_version = catalog_version
+        self._referenced = referenced_tables(planning)
+        #: Number of completed ``execute`` calls.
+        self.executions = 0
+        self._lock = threading.RLock()
+        self._first_execution = True
+        #: (pipeline index, mode) -> executable for the static tiers;
+        #: populated lazily, reused across executions.
+        self._tiers: dict = {}
+        #: pipeline index -> FunctionHandle for the adaptive mode; keeps
+        #: bytecode translations and policy-compiled tiers alive.
+        self._handles: dict = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def referenced_tables(self) -> frozenset[str]:
+        return self._referenced
+
+    def is_valid(self) -> bool:
+        """Whether no referenced table changed since this plan was built."""
+        catalog = self.database.catalog
+        return all(catalog.table_version(name) <= self._catalog_version
+                   for name in self._referenced)
+
+    def _rebuild(self) -> None:
+        """Re-prepare after a referenced table changed (data or DDL)."""
+        catalog_version = self.database.catalog.version
+        generated, planning, timings = self.database.generate(self.sql)
+        self.generated = generated
+        self.planning = planning
+        self.build_timings = timings
+        self._catalog_version = catalog_version
+        self._referenced = referenced_tables(planning)
+        self._tiers.clear()
+        self._handles.clear()
+        self._first_execution = True
+
+    # ------------------------------------------------------------------ #
+    def execute(self, mode: str = "adaptive", threads: int = 1,
+                collect_trace: bool = False,
+                cost_model=None,
+                policy=None) -> QueryResult:
+        """Execute the prepared query in any compiled-engine mode.
+
+        ``cost_model`` / ``policy`` override the adaptive policy inputs for
+        this execution (adaptive mode only).  The first execution after
+        (re)preparation reports the full build timings; later executions
+        report zero for parse/bind/plan/codegen and only pay compilation for
+        tiers not compiled yet.
+        """
+        if mode not in ENGINE_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r} for a prepared query; "
+                f"expected one of {ENGINE_MODES}")
+        with self._lock:
+            return self._execute_locked(mode, threads, collect_trace,
+                                        cost_model, policy)
+
+    def execute_nowait(self, mode: str = "adaptive", threads: int = 1,
+                       collect_trace: bool = False,
+                       cost_model=None,
+                       policy=None) -> Optional[QueryResult]:
+        """Like :meth:`execute`, but returns ``None`` instead of blocking
+        when another thread is currently executing this entry.
+
+        ``Database.execute`` uses this to keep concurrent callers of the
+        same statement independent: the loser of the race falls back to a
+        cold build rather than waiting for the cached entry's state.
+        """
+        if mode not in ENGINE_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r} for a prepared query; "
+                f"expected one of {ENGINE_MODES}")
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            return self._execute_locked(mode, threads, collect_trace,
+                                        cost_model, policy)
+        finally:
+            self._lock.release()
+
+    def _execute_locked(self, mode, threads, collect_trace, cost_model,
+                        policy) -> QueryResult:
+        if not self.is_valid():
+            self._rebuild()
+        first = self._first_execution
+        self._first_execution = False
+        timings = replace(self.build_timings) if first else PhaseTimings()
+        self.generated.reset_for_execution()
+        database = self.database
+
+        if mode == "adaptive":
+            executor = AdaptiveExecutor(
+                database, num_threads=threads, collect_trace=collect_trace,
+                cost_model=cost_model, policy=policy, handles=self._handles)
+            result = executor.execute(self.generated, self.planning, timings)
+        elif threads > 1:
+            executor = StaticParallelExecutor(
+                database, mode=mode, num_threads=threads,
+                collect_trace=collect_trace, tiers=self._tiers)
+            result = executor.execute(self.generated, self.planning, timings)
+        else:
+            result = database._execute_static(
+                self.generated, self.planning, timings, mode,
+                tiers=self._tiers)
+        self.executions += 1
+        result.cached = not first
+        # Free the execution state eagerly: the result no longer aliases it
+        # (finish_output copies the rows), and a cached entry would otherwise
+        # pin its last execution's join/aggregation hash tables until the
+        # next run.
+        self.generated.reset_for_execution()
+        return result
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tables = ",".join(sorted(self._referenced)) or "-"
+        return (f"<PreparedQuery tables=[{tables}] "
+                f"executions={self.executions}>")

@@ -125,7 +125,10 @@ def test_threaded_execution_agrees(sales_db, mode):
 
 
 def test_phase_timings_populated(sales_db):
-    result = sales_db.execute(QUERIES["group-by"], mode="optimized")
+    # use_cache=False: this test measures the cold path; a plan-cache hit
+    # legitimately reports 0 for the parse/bind/plan/codegen/compile phases.
+    result = sales_db.execute(QUERIES["group-by"], mode="optimized",
+                              use_cache=False)
     timings = result.timings
     assert timings.parse > 0
     assert timings.bind > 0
@@ -142,9 +145,13 @@ def test_compile_time_ordering(sales_db):
     """Bytecode translation is cheaper than unoptimized, which is cheaper
     than optimized compilation (paper Fig. 3)."""
     sql = QUERIES["join-group"]
-    bytecode = sales_db.execute(sql, mode="bytecode").timings.compile
-    unoptimized = sales_db.execute(sql, mode="unoptimized").timings.compile
-    optimized = sales_db.execute(sql, mode="optimized").timings.compile
+    # use_cache=False: compile is 0 on a plan-cache hit (tiers are reused).
+    bytecode = sales_db.execute(sql, mode="bytecode",
+                                use_cache=False).timings.compile
+    unoptimized = sales_db.execute(sql, mode="unoptimized",
+                                   use_cache=False).timings.compile
+    optimized = sales_db.execute(sql, mode="optimized",
+                                 use_cache=False).timings.compile
     assert bytecode < unoptimized < optimized
 
 

@@ -1,5 +1,8 @@
 """Unit tests for the adaptive execution framework."""
 
+import time
+from collections import Counter
+
 import pytest
 
 from repro import Database, SQLType
@@ -270,6 +273,74 @@ class TestSimulation:
     def test_cost_model_from_profiles(self):
         model = cost_model_from_profiles([self._profile()])
         assert model.speedup("optimized") > model.speedup("unoptimized") > 1.0
+
+
+class _AlwaysOptimize:
+    """A policy stub that requests the optimized tier on every evaluation."""
+
+    def evaluate(self, progress, current, instruction_count, active_workers,
+                 elapsed_seconds):
+        from repro.adaptive.policy import PolicyEvaluation
+
+        return PolicyEvaluation(Decision.OPTIMIZED, 1.0, None, 0.0, 1.0)
+
+
+def _sum_query_db(rows=20_000, morsel_size=64):
+    db = Database(morsel_size=morsel_size)
+    db.create_table("t", [("a", SQLType.INT64)])
+    db.insert("t", [(i,) for i in range(rows)])
+    return db
+
+
+class TestAdaptiveCompileAccounting:
+    """Regression tests for the background-compile timing/race fixes."""
+
+    def _run(self, monkeypatch, num_threads, sleep_seconds=0.03):
+        from repro.adaptive import modes as modes_module
+        from repro.adaptive.executor import AdaptiveExecutor
+
+        real_compile = modes_module.compile_function
+        calls = []
+
+        def slow_compile(function, tier):
+            calls.append((function.name, tier))
+            time.sleep(sleep_seconds)
+            return real_compile(function, tier)
+
+        monkeypatch.setattr(modes_module, "compile_function", slow_compile)
+
+        db = _sum_query_db()
+        generated, planning, timings = db.generate("select sum(a) as s from t")
+        executor = AdaptiveExecutor(db, num_threads=num_threads,
+                                    policy=_AlwaysOptimize())
+        result = executor.execute(generated, planning, timings)
+        return result, calls
+
+    def test_multithreaded_compile_time_is_accounted(self, monkeypatch):
+        # The background compile thread's time must show up in the phase
+        # breakdown exactly like the synchronous w=1 path's does.
+        result, calls = self._run(monkeypatch, num_threads=3)
+        assert calls, "policy stub should have triggered a compilation"
+        assert result.timings.compile >= 0.03
+
+    def test_single_threaded_compile_time_is_accounted(self, monkeypatch):
+        result, calls = self._run(monkeypatch, num_threads=1)
+        assert calls
+        assert result.timings.compile >= 0.03
+
+    def test_exactly_one_compile_per_pipeline_and_tier(self, monkeypatch):
+        # Many workers all asking for the same switch must not spawn
+        # duplicate compile threads for one (pipeline, tier) target.
+        result, calls = self._run(monkeypatch, num_threads=8,
+                                  sleep_seconds=0.02)
+        counts = Counter(calls)
+        assert counts, "expected at least one compilation"
+        duplicates = {key: n for key, n in counts.items() if n > 1}
+        assert not duplicates, f"duplicate compilations: {duplicates}"
+
+    def test_results_correct_while_switching(self, monkeypatch):
+        result, _ = self._run(monkeypatch, num_threads=4)
+        assert result.rows == [(sum(range(20_000)),)]
 
 
 class TestExecutors:

@@ -1,0 +1,347 @@
+"""Tests for the prepared-query subsystem and the plan/artifact cache."""
+
+import threading
+
+import pytest
+
+from repro import Database, PlanCache, SQLType, normalize_sql
+from repro.backend.cost_model import CostModel, TierEstimate
+from repro.errors import ExecutionError
+
+ENGINE_MODES = ["ir-interp", "bytecode", "unoptimized", "optimized",
+                "adaptive"]
+
+
+@pytest.fixture()
+def db():
+    db = Database(morsel_size=256)
+    db.create_table("t", [("a", SQLType.INT64), ("b", SQLType.FLOAT64)])
+    db.create_table("u", [("x", SQLType.INT64)])
+    db.insert("t", [(i % 13, float(i)) for i in range(5000)])
+    db.insert("u", [(i,) for i in range(100)])
+    return db
+
+
+SQL = "select a, sum(b) as s, count(*) as c from t group by a order by a"
+
+
+class TestNormalizeSQL:
+    def test_whitespace_and_case_insensitive(self):
+        assert normalize_sql("SELECT  a\n FROM   t") == \
+            normalize_sql("select a from t")
+
+    def test_string_literals_preserved(self):
+        normalized = normalize_sql("SELECT a FROM t WHERE s = 'Ab  C'")
+        assert normalized == "select a from t where s = 'Ab  C'"
+
+    def test_escaped_quote_in_literal(self):
+        normalized = normalize_sql("select 'it''s  A' from T")
+        assert normalized == "select 'it''s  A' from t"
+
+    def test_different_literals_do_not_collide(self):
+        assert normalize_sql("select 'A' from t") != \
+            normalize_sql("select 'a' from t")
+
+    def test_comments_stripped_like_the_lexer(self):
+        assert normalize_sql("select a from t -- trailing") == \
+            normalize_sql("select a from t")
+        assert normalize_sql("select a /* block */ from t") == \
+            normalize_sql("select a from t")
+
+    def test_line_comment_does_not_swallow_next_line(self):
+        # Collapsing the newline before stripping comments would make these
+        # two semantically different queries collide on one cache key.
+        multiline = normalize_sql("SELECT a\n-- note\nFROM t")
+        single_line = normalize_sql("SELECT a -- note FROM t")
+        assert multiline == "select a from t"
+        assert single_line == "select a"
+        assert multiline != single_line
+
+    def test_unterminated_block_comment_never_hits_cache(self, db):
+        db.execute("select a from t", mode="bytecode")
+        # Lexically invalid: must raise even with the valid form cached.
+        with pytest.raises(Exception):
+            db.execute("select a from t /* unterminated", mode="bytecode")
+
+    def test_comment_collision_does_not_serve_wrong_plan(self, db):
+        db.execute("select a\n-- note\nfrom t", mode="bytecode")
+        # Same text on one line is a *different* query (the comment swallows
+        # FROM); it must not be served from the cache but fail on its own.
+        with pytest.raises(Exception):
+            db.execute("select a -- note from t", mode="bytecode")
+
+
+class TestPlanCache:
+    class _Entry:
+        def __init__(self, valid=True):
+            self.valid = valid
+
+        def is_valid(self):
+            return self.valid
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        a, b, c = self._Entry(), self._Entry(), self._Entry()
+        cache.put("a", a)
+        cache.put("b", b)
+        assert cache.get("a") is a  # refreshes "a"
+        cache.put("c", c)           # evicts "b", the LRU tail
+        assert cache.get("b") is None
+        assert cache.get("a") is a
+        assert cache.get("c") is c
+        assert cache.stats.evictions == 1
+
+    def test_invalid_entries_dropped_on_lookup(self):
+        cache = PlanCache(capacity=4)
+        entry = self._Entry()
+        cache.put("k", entry)
+        entry.valid = False
+        assert cache.get("k") is None
+        assert "k" not in cache
+        assert cache.stats.invalidations == 1
+
+    def test_zero_capacity_disables(self):
+        cache = PlanCache(capacity=0)
+        cache.put("k", self._Entry())
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=-1)
+
+
+class TestTransparentCache:
+    def test_hit_skips_frontend_phases(self, db):
+        first = db.execute(SQL, mode="optimized")
+        second = db.execute(SQL, mode="optimized")
+        assert not first.cached and second.cached
+        assert first.timings.parse > 0 and first.timings.compile > 0
+        assert second.timings.parse == 0
+        assert second.timings.bind == 0
+        assert second.timings.plan == 0
+        assert second.timings.codegen == 0
+        assert second.timings.compile == 0  # tier reused as well
+        assert second.timings.execution > 0
+        assert second.rows == first.rows
+
+    def test_cache_shared_across_modes(self, db):
+        db.execute(SQL, mode="optimized")
+        result = db.execute(SQL, mode="bytecode")
+        assert result.cached  # same plan entry, different tier
+        assert result.timings.compile > 0  # bytecode tier not built yet
+        again = db.execute(SQL, mode="bytecode")
+        assert again.timings.compile == 0
+
+    def test_normalized_key_matches_reformatted_sql(self, db):
+        db.execute(SQL, mode="bytecode")
+        reformatted = ("SELECT  a, SUM(b) AS s, COUNT(*) AS c\n"
+                       "FROM t GROUP BY a ORDER BY a")
+        assert db.execute(reformatted, mode="bytecode").cached
+
+    def test_insert_into_referenced_table_invalidates(self, db):
+        first = db.execute(SQL, mode="optimized")
+        db.insert("t", [(1, 1000.0)])
+        rebuilt = db.execute(SQL, mode="optimized")
+        assert not rebuilt.cached
+        assert rebuilt.timings.parse > 0
+        assert rebuilt.rows != first.rows  # sees the new row
+        assert db.plan_cache.stats.invalidations == 1
+
+    def test_unrelated_insert_keeps_entry(self, db):
+        db.execute(SQL, mode="optimized")
+        db.insert("u", [(999,)])
+        assert db.execute(SQL, mode="optimized").cached
+
+    def test_use_cache_false_bypasses(self, db):
+        db.execute(SQL, mode="optimized")
+        cold = db.execute(SQL, mode="optimized", use_cache=False)
+        assert not cold.cached
+        assert cold.timings.parse > 0 and cold.timings.compile > 0
+
+    def test_disabled_cache(self):
+        db = Database(plan_cache_size=0)
+        db.create_table("t", [("a", SQLType.INT64)])
+        db.insert("t", [(i,) for i in range(10)])
+        sql = "select sum(a) as s from t"
+        assert not db.execute(sql).cached
+        assert not db.execute(sql).cached
+
+    def test_stats_counters(self, db):
+        db.execute(SQL, mode="optimized")   # miss
+        db.execute(SQL, mode="adaptive")    # hit
+        db.execute(SQL, mode="bytecode")    # hit
+        stats = db.plan_cache.stats
+        assert stats.misses == 1 and stats.hits == 2
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestCachedMatchesUncached:
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_identical_results(self, db, mode):
+        uncached = db.execute(SQL, mode=mode, use_cache=False)
+        build = db.execute(SQL, mode=mode)
+        hit = db.execute(SQL, mode=mode)
+        assert build.rows == uncached.rows
+        assert hit.rows == uncached.rows
+        assert hit.column_names == uncached.column_names
+        assert hit.column_types == uncached.column_types
+
+    def test_threaded_cached_execution(self, db):
+        reference = db.execute(SQL, mode="optimized", use_cache=False).rows
+        for mode in ("bytecode", "optimized", "adaptive"):
+            assert db.execute(SQL, mode=mode, threads=4).rows == reference
+            assert db.execute(SQL, mode=mode, threads=4).rows == reference
+
+    def test_cached_results_do_not_alias_state(self, db):
+        # A result without DISTINCT/ORDER BY/LIMIT must not alias the
+        # output-row list that the next execution resets in place.
+        sql = "select a, b from t where a = 3"
+        first = db.execute(sql, mode="bytecode")
+        snapshot = list(first.rows)
+        db.execute(sql, mode="bytecode")
+        assert first.rows == snapshot
+
+
+class TestPreparedQuery:
+    def test_prepare_then_execute(self, db):
+        prepared = db.prepare_query(SQL)
+        assert prepared.referenced_tables == {"t"}
+        first = prepared.execute(mode="optimized")
+        second = prepared.execute(mode="optimized")
+        assert not first.cached and second.cached
+        assert second.timings.parse == 0 and second.timings.compile == 0
+        assert first.rows == second.rows
+        assert prepared.executions == 2
+
+    def test_prepare_query_returns_cached_entry(self, db):
+        assert db.prepare_query(SQL) is db.prepare_query(SQL)
+
+    def test_rejects_baseline_modes(self, db):
+        prepared = db.prepare_query(SQL)
+        with pytest.raises(ExecutionError):
+            prepared.execute(mode="volcano")
+
+    def test_held_reference_reprepares_after_insert(self, db):
+        prepared = db.prepare_query(SQL)
+        before = prepared.execute(mode="bytecode")
+        db.insert("t", [(1, 1000.0)])
+        assert not prepared.is_valid()
+        after = prepared.execute(mode="bytecode")
+        assert not after.cached       # transparently re-prepared
+        assert after.rows != before.rows
+        assert prepared.is_valid()
+
+    def test_adaptive_reuses_compiled_tier(self, db):
+        # A cost model with free compilation and large speedups makes the
+        # Fig. 7 policy switch deterministically on the first run.
+        model = CostModel(estimates={
+            "bytecode": TierEstimate(0.0, 0.0, 1.0),
+            "unoptimized": TierEstimate(0.0, 0.0, 4.0),
+            "optimized": TierEstimate(0.0, 0.0, 8.0),
+        })
+        prepared = db.prepare_query(SQL)
+        first = prepared.execute(mode="adaptive", cost_model=model)
+        switched = [p for p in first.pipelines if len(p.mode_history) > 1]
+        assert switched, "expected at least one pipeline to switch tiers"
+        second = prepared.execute(mode="adaptive", cost_model=model)
+        assert second.timings.compile == 0.0  # tiers and bytecode reused
+        reused = [p for p in second.pipelines
+                  if p.mode_history[0] != "bytecode"]
+        assert reused, "expected a pipeline to start in a compiled tier"
+        assert second.rows == first.rows
+
+    def test_execute_nowait_does_not_block_on_busy_entry(self, db):
+        prepared = db.prepare_query(SQL)
+        prepared.execute(mode="bytecode")
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold_lock():
+            with prepared._lock:
+                entered.set()
+                release.wait(timeout=5)
+
+        holder = threading.Thread(target=hold_lock)
+        holder.start()
+        try:
+            assert entered.wait(timeout=5)
+            assert prepared.execute_nowait(mode="bytecode") is None
+            # Database.execute must fall back to a cold build, not block.
+            result = db.execute(SQL, mode="bytecode")
+            assert not result.cached
+        finally:
+            release.set()
+            holder.join()
+        # With the entry free again, execute_nowait succeeds.
+        assert prepared.execute_nowait(mode="bytecode") is not None
+
+    def test_profile_query_measures_cold_phases(self, db):
+        from repro.adaptive.simulation import profile_query
+
+        db.execute(SQL, mode="optimized")  # warm the plan cache
+        profile = profile_query(db, SQL)
+        assert profile.planning_seconds > 0
+        assert profile.codegen_seconds > 0
+        assert all(p.compile_seconds["optimized"] > 0
+                   for p in profile.pipelines)
+
+    def test_concurrent_executions_are_safe(self, db):
+        prepared = db.prepare_query(SQL)
+        reference = prepared.execute(mode="optimized").rows
+        results = []
+        errors = []
+
+        def run():
+            try:
+                for _ in range(3):
+                    results.append(prepared.execute(mode="optimized").rows)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [threading.Thread(target=run) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        assert len(results) == 12
+        assert all(rows == reference for rows in results)
+
+
+class TestCatalogVersions:
+    def test_insert_bumps_referenced_version(self, db):
+        before = db.catalog.table_version("t")
+        db.insert("t", [(1, 1.0)])
+        assert db.catalog.table_version("t") > before
+
+    def test_create_and_drop_bump(self, db):
+        version = db.catalog.version
+        db.create_table("v", [("a", SQLType.INT64)])
+        assert db.catalog.version > version
+        created = db.catalog.table_version("v")
+        db.catalog.drop_table("v")
+        assert db.catalog.table_version("v") > created
+
+    def test_unknown_table_version_is_zero(self, db):
+        assert db.catalog.table_version("nope") == 0
+
+
+class TestBaselineArgumentValidation:
+    @pytest.mark.parametrize("mode", ["volcano", "vectorized"])
+    def test_threads_rejected(self, db, mode):
+        with pytest.raises(ExecutionError):
+            db.execute(SQL, mode=mode, threads=2)
+
+    @pytest.mark.parametrize("mode", ["volcano", "vectorized"])
+    def test_collect_trace_rejected(self, db, mode):
+        with pytest.raises(ExecutionError):
+            db.execute(SQL, mode=mode, collect_trace=True)
+
+    @pytest.mark.parametrize("mode", ["volcano", "vectorized"])
+    def test_default_arguments_still_work(self, db, mode):
+        reference = db.execute(SQL, mode="optimized", use_cache=False)
+        result = db.execute(SQL, mode=mode)
+        assert [tuple(round(v, 4) if isinstance(v, float) else v
+                      for v in row) for row in result.rows] == \
+            [tuple(round(v, 4) if isinstance(v, float) else v
+                   for v in row) for row in reference.rows]
