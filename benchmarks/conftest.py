@@ -13,6 +13,7 @@ set ``REPRO_BENCH_FULL=1`` to run the larger sweep (more scale factors, all
 
 from __future__ import annotations
 
+import faulthandler
 import os
 import sys
 
@@ -22,6 +23,27 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                     "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# Per-test watchdog matching tests/conftest.py: without pytest-timeout a
+# hung benchmark (e.g. a scheduler deadlock) aborts the process instead of
+# hanging CI.  Benchmarks get a larger budget than unit tests.
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_FALLBACK_TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "900"))
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(faulthandler,
+                                        "dump_traceback_later"):
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        faulthandler.dump_traceback_later(_FALLBACK_TIMEOUT, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()
 
 from repro import Database                                  # noqa: E402
 from repro.workloads import (                               # noqa: E402

@@ -94,6 +94,28 @@ def main() -> None:
           f"({stats.hit_rate:.0%}); an insert into 'orders' or 'customers' "
           f"would invalidate the entry")
 
+    # --- concurrent submission: tickets, sessions, admission control -------
+    # Database.submit enqueues a query and returns immediately; the query
+    # runs on the database's shared worker pool (bounded threads, fair
+    # round-robin across queries) once admission control lets it through.
+    # Sessions carry per-client defaults and statistics.
+    print("\nconcurrent submission (8 clients on the shared pool):")
+    clients = [db.session(mode="adaptive", name=f"client-{i}")
+               for i in range(8)]
+    tickets = [client.submit(sql) for client in clients]
+    for client, ticket in zip(clients, tickets):
+        result = ticket.result(timeout=60)
+        timings = result.timings
+        print(f"  {client.name}: rows={len(result.rows)}  "
+              f"waited {timings.queue * 1000:6.2f} ms, "
+              f"ran {timings.total * 1000:6.2f} ms "
+              f"(cached={result.cached})")
+    sched = db.scheduler.stats
+    print(f"scheduler: {sched.completed} completed, "
+          f"peak {sched.peak_running} running / "
+          f"{sched.peak_pending} queued")
+    db.close()  # joins the worker pool and compile thread
+
 
 if __name__ == "__main__":
     main()

@@ -34,13 +34,24 @@ from .engine import (
 from .cache import CacheStats, PlanCache, normalize_sql
 from .errors import ReproError
 from .prepared import PreparedQuery
+from .scheduler import (
+    QueryScheduler,
+    QueryTicket,
+    SchedulerStats,
+    Session,
+    SessionStats,
+    TicketState,
+    WorkerPool,
+)
 from .types import SQLType
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Database", "QueryResult", "PhaseTimings", "PipelineExecution",
     "PreparedQuery", "PlanCache", "CacheStats", "normalize_sql",
+    "QueryScheduler", "QueryTicket", "SchedulerStats", "TicketState",
+    "Session", "SessionStats", "WorkerPool",
     "SQLType", "ReproError",
     "ENGINE_MODES", "BASELINE_MODES", "DEFAULT_MORSEL_SIZE",
     "__version__",

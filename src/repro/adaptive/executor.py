@@ -3,15 +3,23 @@
 :class:`AdaptiveExecutor` implements the paper's execution loop: every
 pipeline starts on all worker threads in the bytecode interpreter, progress
 is tracked per morsel, and the Fig. 7 policy decides when to compile the
-pipeline's worker function.  With more than one worker thread the compilation
-runs on a background thread while the other threads keep interpreting; with a
-single thread the compilation happens synchronously (matching the w=1 case of
-the extrapolation formula).
+pipeline's worker function.  With more than one worker the compilation runs
+on the database's shared compile thread while the workers keep
+interpreting; with a single thread the compilation happens synchronously
+(matching the w=1 case of the extrapolation formula).
 
 :class:`StaticParallelExecutor` executes a query with one fixed tier chosen
 up front: all worker functions are compiled first (single-threaded -- the
 paper's point about idle cores during compilation), then the pipelines run
 morsel-parallel.
+
+Neither executor spawns threads of its own: parallel runs feed their
+morsels through a :class:`repro.scheduler.MorselSource` into the database's
+shared :class:`repro.scheduler.WorkerPool` (the calling thread
+participates, capped at ``num_threads`` concurrent workers per pipeline),
+so any number of concurrent queries share one bounded set of threads and
+their morsels interleave fairly; background compilations funnel through
+the database's shared :class:`repro.scheduler.CompileExecutor`.
 
 Note on parallelism: CPython's GIL prevents real speedups for the
 pure-Python interpreters, so wall-clock numbers from these executors do not
@@ -23,8 +31,10 @@ simulator in :mod:`repro.adaptive.simulation` instead (see DESIGN.md).
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
+import traceback
 from typing import Optional
 
 from ..backend.cost_model import CostModel, default_cost_model
@@ -41,6 +51,21 @@ from .trace import ExecutionTrace, TraceEvent
 #: Initial morsel size for adaptive execution (grows towards the maximum),
 #: giving the policy early sample points as described in the paper.
 INITIAL_MORSEL_SIZE = 1024
+
+
+def _report_compile_failure(future, pipeline_name: str) -> None:
+    """Surface a failed background compilation on stderr.
+
+    Execution is unaffected (the pipeline keeps running in its current
+    tier), matching the pre-pool behaviour where the dedicated compile
+    thread died and ``threading``'s excepthook printed the traceback.
+    """
+    exc = future.exception()
+    if exc is not None:
+        print(f"repro: background compilation of pipeline "
+              f"{pipeline_name!r} failed:", file=sys.stderr)
+        traceback.print_exception(type(exc), exc, exc.__traceback__,
+                                  file=sys.stderr)
 
 
 class AdaptiveExecutor:
@@ -96,13 +121,22 @@ class AdaptiveExecutor:
             rows, morsel_size=self.database.morsel_size,
             initial_size=min(INITIAL_MORSEL_SIZE,
                              self.database.morsel_size))
+        # ``threads=N`` is a cap on this query's pool share, not a spawn
+        # count: no more than pool size + 1 (the driving thread) workers can
+        # actually run morsels, and the Fig. 7 extrapolation must not assume
+        # parallelism beyond that.
+        if self.num_threads == 1:
+            effective_workers = 1
+        else:
+            effective_workers = min(self.num_threads,
+                                    self.database.worker_pool.size + 1)
         decision_lock = threading.Lock()
-        compile_threads: list[threading.Thread] = []
+        compile_futures: list = []
         #: Wall-clock seconds of finished background compilations.  Appended
-        #: from the compiler threads (list.append is atomic under the GIL)
-        #: and summed into ``timings.compile`` after they are joined, so the
-        #: multi-threaded path accounts compilation exactly like the
-        #: synchronous w=1 path does.
+        #: from the shared compile thread (list.append is atomic under the
+        #: GIL) and summed into ``timings.compile`` after the futures are
+        #: awaited, so the multi-threaded path accounts compilation exactly
+        #: like the synchronous w=1 path does.
         background_compile_seconds: list[float] = []
         pipeline_start = time.perf_counter()
 
@@ -118,7 +152,7 @@ class AdaptiveExecutor:
                     return
                 evaluation = self.policy.evaluate(
                     progress, current, handle.instruction_count,
-                    active_workers=self.num_threads,
+                    active_workers=effective_workers,
                     elapsed_seconds=now - pipeline_start)
                 target = evaluation.decision.target_mode
                 if target is None or handle.is_compiled(target):
@@ -152,47 +186,41 @@ class AdaptiveExecutor:
 
                 # Mark the handle as compiling *before* releasing the decision
                 # lock: ``handle.compile`` only sets the marker once the
-                # background thread is scheduled, so without this a second
-                # evaluation in that window would spawn a duplicate compile
-                # thread for the same target.
+                # compile thread picks the job up, so without this a second
+                # evaluation in that window would queue a duplicate compile
+                # job for the same target.
                 handle.compiling = target
-                job = threading.Thread(target=compile_job,
-                                       name=f"compile-{pipeline.name}",
-                                       daemon=True)
-                compile_threads.append(job)
-                job.start()
+                compile_futures.append(
+                    self.database.compile_executor.submit(compile_job))
             finally:
                 decision_lock.release()
 
-        def worker_loop(thread_id: int) -> None:
-            while True:
-                morsel = dispatcher.next_morsel()
-                if morsel is None:
-                    return
-                executable, mode = handle.executable()
-                start = time.perf_counter()
-                executable(None, morsel.begin, morsel.end)
-                end = time.perf_counter()
-                progress.record_morsel(thread_id, morsel.size, end - start)
-                trace.add(TraceEvent(thread_id, start - query_start,
-                                     end - query_start, "morsel",
-                                     pipeline.name, mode.tier_name,
-                                     morsel.size))
-                maybe_switch(end, thread_id)
+        def run_morsel(slot: int, morsel) -> None:
+            executable, mode = handle.executable()
+            start = time.perf_counter()
+            executable(None, morsel.begin, morsel.end)
+            end = time.perf_counter()
+            progress.record_morsel(slot, morsel.size, end - start)
+            trace.add(TraceEvent(slot, start - query_start,
+                                 end - query_start, "morsel",
+                                 pipeline.name, mode.tier_name,
+                                 morsel.size))
+            maybe_switch(end, slot)
 
         if rows > 0:
             if self.num_threads == 1:
-                worker_loop(0)
+                morsel = dispatcher.next_morsel()
+                while morsel is not None:
+                    run_morsel(0, morsel)
+                    morsel = dispatcher.next_morsel()
             else:
-                threads = [threading.Thread(target=worker_loop, args=(i,),
-                                            name=f"worker-{i}")
-                           for i in range(self.num_threads)]
-                for thread in threads:
-                    thread.start()
-                for thread in threads:
-                    thread.join()
-        for job in compile_threads:
-            job.join()
+                # Shared-pool execution: the pool workers and this thread
+                # pull morsels together, at most ``num_threads`` at a time.
+                self.database.worker_pool.run_morsels(
+                    dispatcher, run_morsel, max_workers=self.num_threads)
+        for future in compile_futures:
+            future.wait()
+            _report_compile_failure(future, pipeline.name)
         timings.compile += sum(background_compile_seconds)
 
         if pipeline.finish is not None:
@@ -249,29 +277,26 @@ class StaticParallelExecutor:
                                           morsel_size=self.database.morsel_size)
             pipeline_start = time.perf_counter()
 
-            def worker_loop(thread_id: int) -> None:
-                while True:
-                    morsel = dispatcher.next_morsel()
-                    if morsel is None:
-                        return
-                    start = time.perf_counter()
-                    executable(None, morsel.begin, morsel.end)
-                    end = time.perf_counter()
-                    trace.add(TraceEvent(thread_id, start - query_start,
-                                         end - query_start, "morsel",
-                                         pipeline.name, self.mode,
-                                         morsel.size))
+            def run_morsel(slot: int, morsel, executable=executable,
+                           pipeline=pipeline) -> None:
+                start = time.perf_counter()
+                executable(None, morsel.begin, morsel.end)
+                end = time.perf_counter()
+                trace.add(TraceEvent(slot, start - query_start,
+                                     end - query_start, "morsel",
+                                     pipeline.name, self.mode,
+                                     morsel.size))
 
             if rows > 0:
                 if self.num_threads == 1:
-                    worker_loop(0)
+                    morsel = dispatcher.next_morsel()
+                    while morsel is not None:
+                        run_morsel(0, morsel)
+                        morsel = dispatcher.next_morsel()
                 else:
-                    threads = [threading.Thread(target=worker_loop, args=(i,))
-                               for i in range(self.num_threads)]
-                    for thread in threads:
-                        thread.start()
-                    for thread in threads:
-                        thread.join()
+                    self.database.worker_pool.run_morsels(
+                        dispatcher, run_morsel,
+                        max_workers=self.num_threads)
             if pipeline.finish is not None:
                 pipeline.finish()
             elapsed = time.perf_counter() - pipeline_start

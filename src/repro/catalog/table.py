@@ -38,25 +38,33 @@ class Table:
         ``encode=True`` converts user-level Python values (dates, floats for
         decimals) to the internal representation; generators that already
         produce internal values can pass ``encode=False`` to skip that work.
+
+        Each row is appended atomically: the whole row is validated and
+        encoded *before* any column list is touched, so a value that fails
+        to encode can never leave ragged columns behind.  Rows preceding
+        the failing one stay inserted.
         """
         count = 0
         column_lists = [self.columns[column.name]
                         for column in self.schema.columns]
         types = [column.sql_type for column in self.schema.columns]
         width = len(column_lists)
-        for row in rows:
-            if len(row) != width:
-                raise CatalogError(
-                    f"row width {len(row)} does not match table "
-                    f"{self.name!r} ({width} columns)")
-            if encode:
-                for target, sql_type, value in zip(column_lists, types, row):
-                    target.append(encode_python_value(value, sql_type))
-            else:
+        try:
+            for row in rows:
+                if len(row) != width:
+                    raise CatalogError(
+                        f"row width {len(row)} does not match table "
+                        f"{self.name!r} ({width} columns)")
+                if encode:
+                    row = [encode_python_value(value, sql_type)
+                           for sql_type, value in zip(types, row)]
                 for target, value in zip(column_lists, row):
                     target.append(value)
-            count += 1
-        self._numpy_cache.clear()
+                count += 1
+        finally:
+            # Invalidate even on a failed batch: rows appended before the
+            # failure are part of the table now.
+            self._numpy_cache.clear()
         return count
 
     def append_columns(self, columns: dict[str, list]) -> None:

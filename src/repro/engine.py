@@ -26,10 +26,20 @@ compiled tiers.  ``prepare_query`` exposes the same machinery explicitly;
 ``use_cache=False`` bypasses it for cold-path measurements.  Entries are
 invalidated through the catalog's per-table version counters (bumped by
 ``insert`` and DDL).
+
+Concurrent serving goes through :mod:`repro.scheduler`: a database owns one
+shared :class:`~repro.scheduler.WorkerPool` (all parallel executions draw
+their morsel workers from it -- no per-query thread spawning), one shared
+:class:`~repro.scheduler.CompileExecutor` for background tier compilation,
+and a lazily created :class:`~repro.scheduler.QueryScheduler` behind
+``submit(sql) -> QueryTicket`` with bounded admission.  ``session()``
+creates per-client default/stat carriers, and ``close()`` (or using the
+database as a context manager) shuts the serving machinery down.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -37,8 +47,10 @@ from typing import Optional, Sequence
 from .cache import PlanCache, normalize_sql
 from .catalog import Catalog
 from .codegen import CodeGenerator, GeneratedQuery, QueryRuntime, QueryState
-from .errors import ExecutionError, ReproError
+from .errors import ExecutionError, ReproError, SchedulerError
 from .optimizer import Planner, PlanningResult
+from .scheduler import CompileExecutor, QueryScheduler, QueryTicket, \
+    Session, WorkerPool
 from .semantics import Binder, BoundQuery
 from .sqlparser import parse
 from .types import SQLType, decode_internal_value
@@ -55,6 +67,9 @@ BASELINE_MODES = ("volcano", "vectorized")
 #: Default morsel size (tuples per work unit), as in the paper (~10k).
 DEFAULT_MORSEL_SIZE = 10_000
 
+#: Default worker-pool size of a database (shared by all its queries).
+DEFAULT_WORKERS = 4
+
 
 @dataclass
 class PhaseTimings:
@@ -66,6 +81,11 @@ class PhaseTimings:
     codegen: float = 0.0
     compile: float = 0.0      # bytecode translation or backend compilation
     execution: float = 0.0
+    #: Seconds spent queued before the scheduler started the query (0.0 for
+    #: direct ``execute`` calls).  Deliberately *not* part of :attr:`total`,
+    #: which keeps its meaning of "time spent doing work"; end-to-end
+    #: latency of a submitted query is ``queue + total``.
+    queue: float = 0.0
 
     @property
     def planning(self) -> float:
@@ -76,6 +96,11 @@ class PhaseTimings:
     def total(self) -> float:
         return (self.parse + self.bind + self.plan + self.codegen
                 + self.compile + self.execution)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end seconds including scheduler queue wait."""
+        return self.queue + self.total
 
 
 @dataclass
@@ -120,15 +145,126 @@ class QueryResult:
 
 
 class Database:
-    """A single-node, in-memory database instance."""
+    """A single-node, in-memory database instance.
+
+    ``workers`` sizes the shared worker pool every parallel execution draws
+    from; ``max_concurrent`` / ``max_pending`` bound the query scheduler
+    behind :meth:`submit` (running queries and the admission queue).  The
+    pool, the compile executor and the scheduler are all created lazily, so
+    a database used purely synchronously never starts a thread.
+    """
 
     def __init__(self, morsel_size: int = DEFAULT_MORSEL_SIZE,
-                 plan_cache_size: int = 64):
+                 plan_cache_size: int = 64,
+                 workers: int = DEFAULT_WORKERS,
+                 max_concurrent: Optional[int] = None,
+                 max_pending: int = 256):
         self.catalog = Catalog()
         self.morsel_size = morsel_size
         self._vm = VirtualMachine()
         #: LRU cache of prepared queries; ``plan_cache_size=0`` disables it.
         self.plan_cache = PlanCache(plan_cache_size)
+        self._workers = max(int(workers), 1)
+        self._max_concurrent = max_concurrent
+        self._max_pending = max_pending
+        self._runtime_lock = threading.RLock()
+        self._pool: Optional[WorkerPool] = None
+        self._compile_executor: Optional[CompileExecutor] = None
+        self._scheduler: Optional[QueryScheduler] = None
+        self._closed = False
+
+    @property
+    def vm_instructions(self) -> int:
+        """Total bytecode instructions executed by this database's VM."""
+        return self._vm.instructions_executed
+
+    # ------------------------------------------------------------------ #
+    # shared execution runtime (pool / compile thread / scheduler)
+    # ------------------------------------------------------------------ #
+    @property
+    def worker_pool(self) -> WorkerPool:
+        """The shared morsel worker pool (created lazily)."""
+        with self._runtime_lock:
+            if self._pool is None or self._pool.closed:
+                self._pool = WorkerPool(self._workers)
+            return self._pool
+
+    @property
+    def compile_executor(self) -> CompileExecutor:
+        """The shared background tier-compilation thread (created lazily)."""
+        with self._runtime_lock:
+            if self._compile_executor is None or self._compile_executor.closed:
+                self._compile_executor = CompileExecutor()
+            return self._compile_executor
+
+    @property
+    def scheduler(self) -> QueryScheduler:
+        """The admission-controlled query scheduler (created lazily)."""
+        with self._runtime_lock:
+            if self._closed:
+                raise SchedulerError("database is closed")
+            if self._scheduler is None or self._scheduler.closed:
+                self._scheduler = QueryScheduler(
+                    self, self.worker_pool,
+                    max_concurrent=self._max_concurrent,
+                    max_pending=self._max_pending)
+            return self._scheduler
+
+    def submit(self, sql: str, mode: str = "adaptive", threads: int = 1,
+               collect_trace: bool = False, use_cache: bool = True,
+               session: Optional[Session] = None, block: bool = True,
+               timeout: Optional[float] = None) -> QueryTicket:
+        """Submit ``sql`` for asynchronous execution.
+
+        Returns a :class:`~repro.scheduler.QueryTicket` immediately; use
+        ``ticket.result()`` / ``ticket.done()`` / ``ticket.cancel()``.  The
+        query runs on the shared worker pool once admission control lets it
+        through; ``block`` / ``timeout`` govern what happens while the
+        bounded admission queue is full.
+        """
+        return self.scheduler.submit(
+            sql, mode=mode, threads=threads, collect_trace=collect_trace,
+            use_cache=use_cache, session=session, block=block,
+            timeout=timeout)
+
+    def session(self, mode: str = "adaptive", threads: int = 1,
+                collect_trace: bool = False, use_cache: bool = True,
+                name: str = "") -> Session:
+        """A new :class:`~repro.scheduler.Session` bound to this database."""
+        with self._runtime_lock:
+            if self._closed:
+                raise SchedulerError("database is closed")
+        return Session(self, mode=mode, threads=threads,
+                       collect_trace=collect_trace, use_cache=use_cache,
+                       name=name)
+
+    def close(self) -> None:
+        """Shut down the scheduler, worker pool and compile thread.
+
+        Idempotent.  Pending (not yet started) submissions are cancelled;
+        running queries finish first.  Synchronous ``execute`` keeps
+        working afterwards (parallel executions lazily restart a pool), but
+        ``submit`` and ``session`` raise.
+        """
+        with self._runtime_lock:
+            if self._closed:
+                return
+            self._closed = True
+            scheduler = self._scheduler
+            pool = self._pool
+            compile_executor = self._compile_executor
+        if scheduler is not None:
+            scheduler.close(wait=True)
+        if pool is not None:
+            pool.close(wait=True)
+        if compile_executor is not None:
+            compile_executor.close(wait=True)
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # DDL / DML passthroughs
@@ -138,7 +274,15 @@ class Database:
 
     def insert(self, table_name: str, rows, encode: bool = True) -> int:
         table = self.catalog.table(table_name)
-        inserted = table.insert_rows(rows, encode=encode)
+        try:
+            inserted = table.insert_rows(rows, encode=encode)
+        except BaseException:
+            # A failed batch may still have appended a prefix of its rows
+            # (insert_rows is atomic per row, not per batch); bump the table
+            # version regardless so cached plans and statistics can never
+            # survive a partial insert.  Spurious invalidation is harmless.
+            self.catalog.invalidate_statistics(table_name)
+            raise
         self.catalog.invalidate_statistics(table_name)
         return inserted
 
@@ -206,15 +350,9 @@ class Database:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def execute(self, sql: str, mode: str = "adaptive", threads: int = 1,
-                collect_trace: bool = False,
-                use_cache: bool = True) -> QueryResult:
-        """Execute ``sql`` with the given execution mode.
-
-        Engine modes are served through the plan cache: repeated executions
-        of the same (normalized) SQL reuse the cached plan, IR and compiled
-        tiers.  ``use_cache=False`` forces a cold build of all artifacts.
-        """
+    def _validate_mode(self, sql: str, mode: str, threads: int,
+                       collect_trace: bool) -> None:
+        """Reject invalid mode/parameter combinations (shared with submit)."""
         if mode in BASELINE_MODES:
             if threads > 1:
                 raise ExecutionError(
@@ -224,11 +362,26 @@ class Database:
                 raise ExecutionError(
                     f"baseline mode {mode!r} does not record execution "
                     f"traces")
-            return self._execute_baseline(sql, mode)
-        if mode not in ENGINE_MODES:
+        elif mode not in ENGINE_MODES:
             raise ExecutionError(
                 f"unknown execution mode {mode!r}; expected one of "
                 f"{ENGINE_MODES + BASELINE_MODES}")
+
+    def execute(self, sql: str, mode: str = "adaptive", threads: int = 1,
+                collect_trace: bool = False,
+                use_cache: bool = True) -> QueryResult:
+        """Execute ``sql`` with the given execution mode.
+
+        Engine modes are served through the plan cache: repeated executions
+        of the same (normalized) SQL reuse the cached plan, IR and compiled
+        tiers.  ``use_cache=False`` forces a cold build of all artifacts.
+        Parallel executions (``threads > 1``) draw their workers from the
+        database's shared pool; the calling thread participates, so this
+        works both for direct calls and from scheduler workers.
+        """
+        self._validate_mode(sql, mode, threads, collect_trace)
+        if mode in BASELINE_MODES:
+            return self._execute_baseline(sql, mode)
 
         if use_cache and self.plan_cache.capacity > 0:
             prepared = self.prepare_query(sql)

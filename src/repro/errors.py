@@ -80,3 +80,15 @@ class DivisionByZeroError(ExecutionError):
 
 class AdaptiveError(ReproError):
     """The adaptive execution framework was misused or hit an internal error."""
+
+
+class SchedulerError(ReproError):
+    """The concurrent query scheduler was misused (closed database, ...)."""
+
+
+class AdmissionError(SchedulerError):
+    """A query was rejected because the admission queue is full."""
+
+
+class QueryCancelledError(SchedulerError):
+    """The result of a cancelled query ticket was requested."""

@@ -17,8 +17,9 @@ previous executions already paid for:
 Because the artifacts are bound to a single ``QueryState``, executions of one
 ``PreparedQuery`` are serialized by an internal lock; calling ``execute``
 from many threads is safe, and distinct prepared queries execute fully
-concurrently.  Each execution itself remains morsel-parallel across worker
-threads.  ``Database.execute`` never blocks on a busy entry: it uses
+concurrently.  Each execution itself remains morsel-parallel, drawing its
+workers from the database's shared pool (see :mod:`repro.scheduler`) rather
+than spawning threads.  ``Database.execute`` never blocks on a busy entry: it uses
 :meth:`PreparedQuery.execute_nowait` and falls back to an independent cold
 build when another thread holds the cached entry.
 

@@ -1,0 +1,33 @@
+"""Concurrent query scheduling (shared worker pool, sessions, admission).
+
+The paper motivates adaptive compilation with interactive, many-client
+workloads; this package supplies the serving layer that actually drives
+such workloads against the engine:
+
+* :class:`WorkerPool` -- one set of long-lived worker threads per database;
+  all parallel execution (morsels of any query) and all query admissions
+  draw from it, round-robin across active queries, so the thread count is
+  bounded by the pool size no matter how many queries are in flight.
+* :class:`CompileExecutor` -- the shared background thread for adaptive
+  tier compilation.
+* :class:`QueryScheduler` / :class:`QueryTicket` -- asynchronous
+  ``submit(sql) -> ticket`` with a bounded admission queue
+  (``max_pending``) and a concurrency limit (``max_concurrent``).
+* :class:`Session` -- per-client execution defaults and statistics.
+
+``Database.submit`` / ``Database.session`` / ``Database.close`` are the
+user-facing entry points (see :mod:`repro.engine`).
+"""
+
+from .pool import CompileExecutor, CompileFuture, MorselSource, TaskSource, \
+    WorkerPool
+from .scheduler import QueryScheduler, QueryTicket, SchedulerStats, \
+    TicketState
+from .session import Session, SessionStats
+
+__all__ = [
+    "WorkerPool", "MorselSource", "TaskSource",
+    "CompileExecutor", "CompileFuture",
+    "QueryScheduler", "QueryTicket", "SchedulerStats", "TicketState",
+    "Session", "SessionStats",
+]

@@ -1,0 +1,145 @@
+"""Sessions: per-client execution defaults and statistics.
+
+A :class:`Session` models one client of the database: it carries the
+client's default execution parameters (mode, thread budget, tracing, cache
+usage) so call sites submit plain SQL, and it accumulates statistics over
+everything the client ran -- queries, rows, failures, and the queue-wait
+versus run-time split the scheduler measures.  Sessions are cheap; create
+one per logical client (``Database.session()``) and close it when done.
+All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+from ..errors import SchedulerError
+
+
+@dataclass
+class SessionStats:
+    """Counters accumulated over one session's lifetime."""
+
+    #: Queries handed to the database (both ``execute`` and ``submit``).
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    #: Total result rows over all completed queries.
+    rows: int = 0
+    #: Seconds queries spent waiting for admission/dispatch (``submit`` only).
+    queue_seconds: float = 0.0
+    #: Seconds spent actually running (sum of ``PhaseTimings.total``).
+    run_seconds: float = 0.0
+
+
+class Session:
+    """One client's view of a :class:`repro.Database`."""
+
+    def __init__(self, database, mode: str = "adaptive", threads: int = 1,
+                 collect_trace: bool = False, use_cache: bool = True,
+                 name: str = ""):
+        self.database = database
+        self.mode = mode
+        self.threads = threads
+        self.collect_trace = collect_trace
+        self.use_cache = use_cache
+        self.name = name or f"session-{id(self):x}"
+        self._lock = threading.Lock()
+        self._stats = SessionStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def stats(self) -> SessionStats:
+        """A point-in-time copy of the session counters."""
+        with self._lock:
+            return replace(self._stats)
+
+    def _defaults(self, overrides: dict) -> dict:
+        params = {"mode": self.mode, "threads": self.threads,
+                  "collect_trace": self.collect_trace,
+                  "use_cache": self.use_cache}
+        unknown = set(overrides) - set(params)
+        if unknown:
+            raise SchedulerError(
+                f"unknown session override(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(params)}")
+        params.update(overrides)
+        return params
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SchedulerError(f"session {self.name!r} is closed")
+
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str, **overrides):
+        """Synchronously execute ``sql`` with the session's defaults."""
+        self._check_open()
+        params = self._defaults(overrides)
+        with self._lock:
+            self._stats.submitted += 1
+        try:
+            result = self.database.execute(sql, **params)
+        except BaseException:
+            self._record_failure()
+            raise
+        self._record_result(result)
+        return result
+
+    def submit(self, sql: str, **overrides):
+        """Submit ``sql`` to the scheduler; returns a ``QueryTicket``.
+
+        The ticket reports completion back to this session, so the stats
+        update when the query finishes, not when it is submitted.  A
+        submission rejected before it is enqueued (bad override, invalid
+        mode, full admission queue) is *not* counted as submitted.  The
+        ``submitted`` counter itself is recorded by the scheduler on
+        enqueue, so ``db.submit(sql, session=s)`` counts identically.
+        """
+        self._check_open()
+        params = self._defaults(overrides)
+        return self.database.scheduler.submit(sql, session=self, **params)
+
+    # ------------------------------------------------------------------ #
+    # accounting callbacks (used by execute above and by the scheduler)
+    # ------------------------------------------------------------------ #
+    def _record_submitted(self) -> None:
+        with self._lock:
+            self._stats.submitted += 1
+
+    def _record_result(self, result) -> None:
+        with self._lock:
+            self._stats.completed += 1
+            self._stats.rows += len(result.rows)
+            self._stats.queue_seconds += result.timings.queue
+            self._stats.run_seconds += result.timings.total
+
+    def _record_failure(self) -> None:
+        with self._lock:
+            self._stats.failed += 1
+
+    def _record_cancelled(self) -> None:
+        with self._lock:
+            self._stats.cancelled += 1
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Reject further queries from this session (stats stay readable)."""
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats
+        return (f"<Session {self.name} mode={self.mode!r} "
+                f"submitted={stats.submitted} completed={stats.completed}>")

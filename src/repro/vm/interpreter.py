@@ -18,6 +18,7 @@ Semantics notes:
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 from ..errors import DivisionByZeroError, ExecutionError, OverflowError_, VMError
@@ -47,7 +48,11 @@ class VirtualMachine:
     def __init__(self, trace: bool = False):
         self.trace = trace
         #: Total number of bytecode instructions executed (for tests/benches).
+        #: Updated under a lock: one VM instance is shared by all worker
+        #: threads of a database, and ``+=`` on a plain attribute would lose
+        #: counts when concurrent queries finish morsels simultaneously.
         self.instructions_executed = 0
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # execution
@@ -290,4 +295,5 @@ class VirtualMachine:
                 else:  # pragma: no cover - defensive
                     raise VMError(f"unknown opcode {op}")
         finally:
-            self.instructions_executed += executed
+            with self._stats_lock:
+                self.instructions_executed += executed

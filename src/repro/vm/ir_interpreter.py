@@ -17,6 +17,7 @@ It is used for two purposes:
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 from ..errors import DivisionByZeroError, ExecutionError, OverflowError_, VMError
@@ -57,7 +58,10 @@ class IRInterpreter:
     """Direct interpretation of IR functions (slow by design)."""
 
     def __init__(self):
+        #: Updated under a lock, mirroring :class:`VirtualMachine`: an
+        #: interpreter instance may serve morsels on several pool workers.
         self.instructions_executed = 0
+        self._stats_lock = threading.Lock()
 
     def execute(self, function: Function,
                 args: Sequence[object] = ()) -> Optional[object]:
@@ -108,7 +112,8 @@ class IRInterpreter:
                         f"without a terminator")
                 previous_block, block = block, next_block
         finally:
-            self.instructions_executed += executed
+            with self._stats_lock:
+                self.instructions_executed += executed
 
     # ------------------------------------------------------------------ #
     # helpers

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import faulthandler
 import os
 import sys
 
@@ -12,6 +13,31 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                     "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# ---------------------------------------------------------------------- #
+# Per-test timeout: a deadlock in the concurrent scheduler must fail the
+# run, not hang it.  CI installs pytest-timeout and passes --timeout; when
+# the plugin is absent (plain local runs) fall back to faulthandler's
+# watchdog, which dumps every thread's stack and aborts the process once a
+# single test exceeds REPRO_TEST_TIMEOUT seconds.
+# ---------------------------------------------------------------------- #
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_FALLBACK_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(faulthandler,
+                                        "dump_traceback_later"):
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        faulthandler.dump_traceback_later(_FALLBACK_TIMEOUT, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()
 
 from repro import Database, SQLType               # noqa: E402
 from repro.workloads import populate_tpch          # noqa: E402

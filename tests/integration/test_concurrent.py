@@ -1,0 +1,159 @@
+"""Concurrency stress tests: one shared database under contention.
+
+Many client threads execute queries across execution modes (adaptive,
+optimized, bytecode) -- through synchronous ``execute``, the async
+``submit`` ticket API, and sessions -- while a writer thread keeps
+inserting into one of the queried tables.  The assertions check the three
+properties the scheduler subsystem must preserve under contention:
+
+* every query returns the correct result (reads of the mutated table see a
+  prefix-consistent, monotonically growing row count -- a stale plan-cache
+  entry would violate monotonicity),
+* the plan cache invalidates correctly while readers race the writer,
+* the machine-wide thread count stays bounded by the shared pool (plus the
+  compile thread), no matter how many queries are in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import Database, SQLType
+
+
+CLIENTS = 4
+RUNS_PER_CLIENT = 12
+WRITER_BATCHES = 24
+BATCH_ROWS = 10
+
+
+@pytest.fixture()
+def stress_db():
+    db = Database(morsel_size=512, workers=4)
+    db.create_table("items", [("id", SQLType.INT64),
+                              ("category", SQLType.INT64),
+                              ("price", SQLType.FLOAT64)])
+    db.insert("items", [(i, i % 7, float(i) * 0.5) for i in range(8000)])
+    db.create_table("events", [("seq", SQLType.INT64),
+                               ("kind", SQLType.INT64)])
+    yield db
+    db.close()
+
+
+ITEM_SQL = ("select category, sum(price) as total, count(*) as n "
+            "from items group by category order by category")
+EVENT_SQL = "select count(*) as c from events"
+MODES = ("adaptive", "optimized", "bytecode")
+
+
+def test_concurrent_stress_across_modes_with_interleaved_inserts(stress_db):
+    db = stress_db
+    expected_items = db.execute(ITEM_SQL, mode="optimized",
+                                use_cache=False).rows
+    start_threads = threading.active_count()
+    errors: list[BaseException] = []
+    peak_threads = [0]
+    writer_done = threading.Event()
+
+    def record_error(exc: BaseException) -> None:
+        errors.append(exc)
+
+    def writer() -> None:
+        try:
+            seq = 0
+            for batch in range(WRITER_BATCHES):
+                rows = [(seq + i, (seq + i) % 3) for i in range(BATCH_ROWS)]
+                db.insert("events", rows)
+                seq += BATCH_ROWS
+                time.sleep(0.002)
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            record_error(exc)
+        finally:
+            writer_done.set()
+
+    def item_reader(client: int) -> None:
+        # The items table is never mutated: every mode, every thread count,
+        # and every cache state must agree with the reference result.
+        try:
+            for run in range(RUNS_PER_CLIENT):
+                mode = MODES[(client + run) % len(MODES)]
+                threads = 1 + (run % 2)
+                result = db.execute(ITEM_SQL, mode=mode, threads=threads)
+                assert result.rows == expected_items, (
+                    f"client {client} run {run} mode {mode} diverged")
+        except BaseException as exc:
+            record_error(exc)
+
+    def event_reader() -> None:
+        # The events table grows concurrently: counts must be multiples of
+        # the batch size (insert_rows is atomic per batch here) and must
+        # never go backwards -- a stale cached plan would re-read an old
+        # snapshot and break monotonicity.
+        try:
+            last = 0
+            while not writer_done.is_set():
+                for mode in MODES:
+                    (count,), = db.execute(EVENT_SQL, mode=mode).rows
+                    assert count % BATCH_ROWS == 0, count
+                    assert count >= last, (count, last)
+                    last = count
+        except BaseException as exc:
+            record_error(exc)
+
+    def ticket_client() -> None:
+        # Async submissions race the same plan-cache entries.
+        try:
+            session = db.session(mode="optimized", name="ticket-client")
+            for _ in range(RUNS_PER_CLIENT):
+                ticket = session.submit(ITEM_SQL)
+                assert ticket.result(timeout=60).rows == expected_items
+            stats = session.stats
+            assert stats.completed == RUNS_PER_CLIENT
+            assert stats.failed == 0
+        except BaseException as exc:
+            record_error(exc)
+
+    def monitor() -> None:
+        while not writer_done.is_set():
+            peak_threads[0] = max(peak_threads[0], threading.active_count())
+            time.sleep(0.003)
+
+    clients = ([threading.Thread(target=item_reader, args=(i,))
+                for i in range(CLIENTS)]
+               + [threading.Thread(target=event_reader),
+                  threading.Thread(target=ticket_client),
+                  threading.Thread(target=writer),
+                  threading.Thread(target=monitor)])
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "stress client hung"
+
+    assert not errors, errors[:3]
+
+    # Final state: all writer batches are visible to a fresh query in every
+    # mode -- the plan cache cannot have survived the last invalidation.
+    total = WRITER_BATCHES * BATCH_ROWS
+    for mode in MODES:
+        assert db.execute(EVENT_SQL, mode=mode).rows == [(total,)]
+
+    # Thread boundedness: the client threads above are ours; beyond those,
+    # only the shared pool (4 workers) and the compile thread may appear.
+    own = len(clients)
+    assert peak_threads[0] <= start_threads + own + 4 + 1
+
+
+def test_submit_saturation_returns_correct_results(stress_db):
+    db = stress_db
+    expected = db.execute(ITEM_SQL, use_cache=False).rows
+    tickets = [db.submit(ITEM_SQL, mode=MODES[i % len(MODES)])
+               for i in range(16)]
+    for ticket in tickets:
+        assert ticket.result(timeout=120).rows == expected
+    stats = db.scheduler.stats
+    assert stats.completed >= 16
+    assert stats.peak_running <= db.scheduler.max_concurrent
