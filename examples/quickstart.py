@@ -11,7 +11,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
-from repro import Database, SQLType
+from repro import Database, ExecOptions, SQLType
 
 
 def main() -> None:
@@ -94,19 +94,43 @@ def main() -> None:
           f"({stats.hit_rate:.0%}); an insert into 'orders' or 'customers' "
           f"would invalidate the entry")
 
+    # --- bind parameters: one plan for a whole query shape ------------------
+    # Placeholders (? positional, :name named) keep literals out of the
+    # generated code, so one compiled artifact serves every binding; plain
+    # literal SQL gets the same treatment transparently via
+    # auto-parameterization (differing constants collide on one cache
+    # entry).
+    by_segment = db.prepare_query(
+        "select count(*) as n, sum(o_total) as revenue "
+        "from orders, customers "
+        "where o_customer = c_id and c_segment = :segment "
+        "and o_total >= :floor")
+    print("\nparameterized prepared query, rebound per segment:")
+    for segment in segments:
+        result = by_segment.execute(params={"segment": segment,
+                                            "floor": 100})
+        count, revenue = result.rows[0]
+        print(f"  {segment:12s}  orders={count:5d}  revenue={revenue:11.2f}")
+
     # --- concurrent submission: tickets, sessions, admission control -------
     # Database.submit enqueues a query and returns immediately; the query
     # runs on the database's shared worker pool (bounded threads, fair
     # round-robin across queries) once admission control lets it through.
-    # Sessions carry per-client defaults and statistics.
+    # Sessions carry per-client defaults (one ExecOptions) and statistics.
+    # Here every client submits the same parameterized shape with its own
+    # constant -- all of them served by a single cached plan, concurrently.
     print("\nconcurrent submission (8 clients on the shared pool):")
-    clients = [db.session(mode="adaptive", name=f"client-{i}")
+    param_sql = ("select count(*) as n, sum(o_total) as revenue "
+                 "from orders where o_customer < ?")
+    clients = [db.session(options=ExecOptions(mode="adaptive"),
+                          name=f"client-{i}")
                for i in range(8)]
-    tickets = [client.submit(sql) for client in clients]
+    tickets = [client.submit(param_sql, params=((i + 1) * 25,))
+               for i, client in enumerate(clients)]
     for client, ticket in zip(clients, tickets):
         result = ticket.result(timeout=60)
         timings = result.timings
-        print(f"  {client.name}: rows={len(result.rows)}  "
+        print(f"  {client.name}: rows={result.rows[0][0]:6d}  "
               f"waited {timings.queue * 1000:6.2f} ms, "
               f"ran {timings.total * 1000:6.2f} ms "
               f"(cached={result.cached})")

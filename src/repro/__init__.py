@@ -31,8 +31,15 @@ from .engine import (
     BASELINE_MODES,
     DEFAULT_MORSEL_SIZE,
 )
-from .cache import CacheStats, PlanCache, normalize_sql
-from .errors import ReproError
+from .cache import (
+    CacheStats,
+    PlanCache,
+    auto_parameterize_sql,
+    normalize_sql,
+)
+from .errors import ParameterError, ReproError, SQLError
+from .options import ExecOptions
+from .parameters import ParameterSpec
 from .prepared import PreparedQuery
 from .scheduler import (
     QueryScheduler,
@@ -45,14 +52,16 @@ from .scheduler import (
 )
 from .types import SQLType
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Database", "QueryResult", "PhaseTimings", "PipelineExecution",
     "PreparedQuery", "PlanCache", "CacheStats", "normalize_sql",
+    "auto_parameterize_sql",
+    "ExecOptions", "ParameterSpec",
     "QueryScheduler", "QueryTicket", "SchedulerStats", "TicketState",
     "Session", "SessionStats", "WorkerPool",
-    "SQLType", "ReproError",
+    "SQLType", "ReproError", "SQLError", "ParameterError",
     "ENGINE_MODES", "BASELINE_MODES", "DEFAULT_MORSEL_SIZE",
     "__version__",
 ]

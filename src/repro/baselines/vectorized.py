@@ -35,9 +35,12 @@ class VectorizedEngine:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
+        #: Bind-parameter values of the current execution (encoded).
+        self._params: tuple = ()
 
     # ------------------------------------------------------------------ #
-    def execute(self, plan: PhysicalPlan) -> list[tuple]:
+    def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
+        self._params = tuple(params)
         hash_tables: dict[int, tuple[dict, list[np.ndarray], list]] = {}
         intermediates: dict[str, tuple[dict, int]] = {}
         output_rows: list[tuple] = []
@@ -75,7 +78,8 @@ class VectorizedEngine:
                 break
             if isinstance(operator, PhysFilter):
                 mask = np.asarray(evaluate_expression_vectorized(
-                    operator.predicate, columns, num_rows), dtype=bool)
+                    operator.predicate, columns, num_rows,
+                    self._params), dtype=bool)
                 columns = {key: values[mask]
                            for key, values in columns.items()}
                 num_rows = int(mask.sum())
@@ -107,7 +111,8 @@ class VectorizedEngine:
             hash_tables[operator.join_id]
 
         key_vectors = [np.asarray(evaluate_expression_vectorized(
-            key, columns, num_rows)) for key in operator.probe_keys]
+            key, columns, num_rows, self._params))
+            for key in operator.probe_keys]
 
         probe_indices: list[int] = []
         build_indices: list[int] = []
@@ -140,7 +145,7 @@ class VectorizedEngine:
             if num_rows == 0:
                 break
             mask = np.asarray(evaluate_expression_vectorized(
-                residual, joined, num_rows), dtype=bool)
+                residual, joined, num_rows, self._params), dtype=bool)
             joined = {key: values[mask] for key, values in joined.items()}
             num_rows = int(mask.sum())
         return joined, num_rows
@@ -150,7 +155,8 @@ class VectorizedEngine:
             empty = [np.asarray([])[:0] for _ in sink.payload_columns]
             return {}, empty, list(sink.payload_columns)
         key_vectors = [np.asarray(evaluate_expression_vectorized(
-            key, columns, num_rows)) for key in sink.build_keys]
+            key, columns, num_rows, self._params))
+            for key in sink.build_keys]
         payload_arrays = []
         for column in sink.payload_columns:
             values = columns[(column.binding, column.column)]
@@ -185,7 +191,8 @@ class VectorizedEngine:
             return result_columns, 0
 
         group_vectors = [np.asarray(evaluate_expression_vectorized(
-            expr, columns, num_rows)) for expr in sink.group_by]
+            expr, columns, num_rows, self._params))
+            for expr in sink.group_by]
         argument_vectors = []
         for spec in sink.aggregates:
             if spec.argument is None:
@@ -193,7 +200,7 @@ class VectorizedEngine:
             else:
                 argument_vectors.append(np.asarray(
                     evaluate_expression_vectorized(spec.argument, columns,
-                                                   num_rows)))
+                                                   num_rows, self._params)))
 
         if sink.group_by:
             # Group via np.unique over a structured key.
@@ -253,12 +260,12 @@ class VectorizedEngine:
     def _emit_output(self, sink: OutputSink, columns, num_rows, output_rows):
         if num_rows == 0:
             return
-        vectors = [np.asarray(evaluate_expression_vectorized(expr, columns,
-                                                             num_rows))
-                   for _, expr in sink.output]
-        vectors += [np.asarray(evaluate_expression_vectorized(expr, columns,
-                                                              num_rows))
-                    for expr, _ in sink.order_by]
+        vectors = [np.asarray(evaluate_expression_vectorized(
+            expr, columns, num_rows, self._params))
+            for _, expr in sink.output]
+        vectors += [np.asarray(evaluate_expression_vectorized(
+            expr, columns, num_rows, self._params))
+            for expr, _ in sink.order_by]
         for row in range(num_rows):
             output_rows.append(tuple(_to_python(vector[row])
                                      for vector in vectors))

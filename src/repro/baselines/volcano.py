@@ -34,9 +34,12 @@ class VolcanoEngine:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
+        #: Bind-parameter values of the current execution (encoded).
+        self._params: tuple = ()
 
     # ------------------------------------------------------------------ #
-    def execute(self, plan: PhysicalPlan) -> list[tuple]:
+    def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
+        self._params = tuple(params)
         hash_tables: dict[int, dict] = {}
         intermediates: dict[str, list[dict]] = {}
         output_rows: list[tuple] = []
@@ -86,12 +89,12 @@ class VolcanoEngine:
         for operator in pipeline.operators:
             if isinstance(operator, PhysFilter):
                 rows = [r for r in rows
-                        if evaluate_expression(operator.predicate, r)]
+                        if evaluate_expression(operator.predicate, r, self._params)]
             elif isinstance(operator, PhysHashProbe):
                 joined: list[dict] = []
                 table = hash_tables[operator.join_id]
                 for current in rows:
-                    key_values = tuple(evaluate_expression(k, current)
+                    key_values = tuple(evaluate_expression(k, current, self._params)
                                        for k in operator.probe_keys)
                     key = key_values[0] if len(key_values) == 1 else key_values
                     for payload in table.get(key, ()):  # inner join
@@ -99,7 +102,7 @@ class VolcanoEngine:
                         for column, value in zip(operator.payload_columns,
                                                  payload):
                             combined[(column.binding, column.column)] = value
-                        if all(evaluate_expression(p, combined)
+                        if all(evaluate_expression(p, combined, self._params)
                                for p in operator.residual):
                             joined.append(combined)
                 rows = joined
@@ -119,7 +122,7 @@ class VolcanoEngine:
         for source_row in self._source_rows(pipeline, intermediates):
             for row in self._apply_operators(pipeline, source_row,
                                              hash_tables):
-                key_values = tuple(evaluate_expression(k, row)
+                key_values = tuple(evaluate_expression(k, row, self._params)
                                    for k in sink.build_keys)
                 key = key_values[0] if len(key_values) == 1 else key_values
                 payload = tuple(row[(c.binding, c.column)]
@@ -133,7 +136,7 @@ class VolcanoEngine:
         for source_row in self._source_rows(pipeline, intermediates):
             for row in self._apply_operators(pipeline, source_row,
                                              hash_tables):
-                key = tuple(evaluate_expression(g, row)
+                key = tuple(evaluate_expression(g, row, self._params)
                             for g in sink.group_by)
                 cells = groups.get(key)
                 if cells is None:
@@ -143,7 +146,7 @@ class VolcanoEngine:
                     if spec.function == "count":
                         cells[index] += 1
                         continue
-                    value = evaluate_expression(spec.argument, row)
+                    value = evaluate_expression(spec.argument, row, self._params)
                     if spec.function == "sum":
                         cells[index] += value
                     elif spec.function == "avg":
@@ -181,9 +184,9 @@ class VolcanoEngine:
         for source_row in self._source_rows(pipeline, intermediates):
             for row in self._apply_operators(pipeline, source_row,
                                              hash_tables):
-                values = [evaluate_expression(expr, row)
+                values = [evaluate_expression(expr, row, self._params)
                           for _, expr in sink.output]
-                keys = [evaluate_expression(expr, row)
+                keys = [evaluate_expression(expr, row, self._params)
                         for expr, _ in sink.order_by]
                 output_rows.append(tuple(values + keys))
 

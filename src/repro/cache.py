@@ -21,6 +21,142 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Optional
+
+
+#: Clauses whose literals auto-parameterization must leave alone: GROUP BY /
+#: ORDER BY integers are positional references and LIMIT takes a syntactic
+#: integer, so extracting them would change query semantics (or break the
+#: parser).
+_SKIP_CLAUSES = {"group", "order", "limit"}
+
+#: Keywords whose following literal is syntactically required to stay a
+#: literal: DATE '...' / INTERVAL '...' values and LIKE patterns.
+_SKIP_AFTER_KEYWORDS = {"date", "interval", "like"}
+
+#: Top-level clause keywords tracked while scanning for literals.
+_CLAUSE_KEYWORDS = {"select", "from", "where", "group", "having", "order",
+                    "limit"}
+
+
+def auto_parameterize_sql(sql: str) -> Optional[tuple[str, list]]:
+    """Extract literal constants into synthetic positional parameters.
+
+    Returns ``(parameterized_sql, values)`` where every extracted literal is
+    replaced by ``?`` (in lexical order), or ``None`` when the statement is
+    not auto-parameterizable: it already contains explicit parameters, it
+    contains no extractable literal, or it does not even lex (the caller
+    then executes the original text so the real error surfaces).
+
+    The transformation is purely lexical but deliberately conservative, so
+    the rewritten statement is guaranteed to bind to the *same* plan shape:
+
+    * literals in GROUP BY / ORDER BY / LIMIT clauses are kept (positional
+      references and the parser's literal LIMIT),
+    * literals right after ``DATE`` / ``INTERVAL`` / ``LIKE`` are kept (the
+      parser and binder require those to be literals),
+    * literals preceded by a unary minus are kept (``-3`` must keep folding
+      to one negative literal).
+    """
+    from .sqlparser.lexer import TokenType, tokenize
+    from .errors import LexerError
+
+    try:
+        tokens = tokenize(sql)
+    except LexerError:
+        return None
+
+    values: list = []
+    spans: list[tuple[int, int]] = []
+    clause: Optional[str] = None
+    depth = 0
+    for index, token in enumerate(tokens):
+        if token.type is TokenType.PARAMETER:
+            return None  # already parameterized; never mix
+        if token.type is TokenType.PUNCTUATION:
+            if token.value == "(":
+                depth += 1
+            elif token.value == ")":
+                depth = max(depth - 1, 0)
+            continue
+        # Clause keywords only count at the top level: the FROM inside
+        # ``extract(year from d)`` must not end an ORDER BY clause.
+        if token.type is TokenType.KEYWORD \
+                and token.value in _CLAUSE_KEYWORDS and depth == 0:
+            clause = token.value
+            continue
+        if token.type not in (TokenType.INTEGER, TokenType.FLOAT,
+                              TokenType.STRING):
+            continue
+        if clause in _SKIP_CLAUSES:
+            continue
+        previous = tokens[index - 1] if index > 0 else None
+        if previous is not None:
+            if previous.type is TokenType.KEYWORD \
+                    and previous.value in _SKIP_AFTER_KEYWORDS:
+                continue
+            if previous.type is TokenType.OPERATOR \
+                    and previous.value == "-" \
+                    and _is_unary_minus(tokens, index - 1):
+                continue
+        end = (_string_literal_end(sql, token.position)
+               if token.type is TokenType.STRING
+               else token.position + len(token.value))
+        if token.type is TokenType.INTEGER:
+            values.append(int(token.value))
+        elif token.type is TokenType.FLOAT:
+            values.append(float(token.value))
+        else:
+            values.append(token.value)
+        spans.append((token.position, end))
+
+    if not values:
+        return None
+    out: list[str] = []
+    cursor = 0
+    for start, end in spans:
+        out.append(sql[cursor:start])
+        out.append("?")
+        cursor = end
+    out.append(sql[cursor:])
+    return "".join(out), values
+
+
+def _is_unary_minus(tokens, index: int) -> bool:
+    """Whether the ``-`` at token ``index`` negates its operand.
+
+    A minus is binary when something value-like precedes it (an identifier,
+    a literal, a closing parenthesis or a value keyword); everything else --
+    operators, commas, opening parens, clause keywords -- makes it unary.
+    """
+    from .sqlparser.lexer import TokenType
+
+    if index == 0:
+        return True
+    before = tokens[index - 1]
+    if before.type in (TokenType.IDENTIFIER, TokenType.INTEGER,
+                       TokenType.FLOAT, TokenType.STRING,
+                       TokenType.PARAMETER):
+        return False
+    if before.type is TokenType.PUNCTUATION and before.value == ")":
+        return False
+    if before.type is TokenType.KEYWORD and before.value in ("end", "null",
+                                                             "true", "false"):
+        return False
+    return True
+
+
+def _string_literal_end(sql: str, start: int) -> int:
+    """End offset (exclusive) of the string literal opening at ``start``."""
+    position = start + 1
+    while position < len(sql):
+        if sql[position] == "'":
+            if position + 1 < len(sql) and sql[position + 1] == "'":
+                position += 2
+                continue
+            return position + 1
+        position += 1
+    return len(sql)
 
 
 def normalize_sql(sql: str) -> str:

@@ -23,6 +23,7 @@ from ..semantics.expressions import (
     LiteralExpr,
     LogicalExpr,
     NotExpr,
+    ParameterExpr,
     TypedExpression,
     like_to_predicate,
 )
@@ -56,11 +57,15 @@ class ExpressionCompiler:
 
     def __init__(self, builder: IRBuilder, error_block,
                  column_resolver: Callable[[ColumnExpr], Value],
-                 extern_cache: dict):
+                 extern_cache: dict,
+                 params: Optional[list] = None):
         self.builder = builder
         self.error_block = error_block
         self.column_resolver = column_resolver
         self._externs = extern_cache
+        #: The query state's parameter-value list (referenced by identity:
+        #: parameter loads close over it, executions rebind it in place).
+        self.params = params
 
     # ------------------------------------------------------------------ #
     def compile(self, expr: TypedExpression) -> Value:
@@ -68,6 +73,8 @@ class ExpressionCompiler:
 
         if isinstance(expr, LiteralExpr):
             return self._literal(expr)
+        if isinstance(expr, ParameterExpr):
+            return self._parameter(expr)
         if isinstance(expr, ColumnExpr):
             return self.column_resolver(expr)
         if isinstance(expr, CastExpr):
@@ -149,6 +156,33 @@ class ExpressionCompiler:
         if expr.result_type is SQLType.BOOL:
             return Constant(i1, 1 if expr.value else 0)
         return Constant(i64, int(expr.value))
+
+    def _parameter(self, expr: ParameterExpr) -> Value:
+        """A runtime load of one bind-parameter slot.
+
+        Emitted as a call to a pure, argument-less extern that reads the
+        query state's params list; the literal value is therefore *not*
+        baked into the IR, so one generated module (and every bytecode /
+        compiled tier derived from it) serves all bindings of the query
+        shape.  Being side-effect free, repeated loads of one slot CSE away
+        in the optimized tier.
+        """
+        if self.params is None:
+            raise CodegenError(
+                f"parameter {expr.index} has no parameter storage; the "
+                f"compiler was built without a query state params list")
+        key = ("param", expr.index)
+        extern = self._externs.get(key)
+        if extern is None:
+            def param_load(_values=self.params, _index=expr.index):
+                return _values[_index]
+
+            param_load.__name__ = f"rt_param_{expr.index}"
+            extern = ExternFunction(param_load.__name__, [],
+                                    ir_type_of(expr.result_type), param_load,
+                                    has_side_effects=False)
+            self._externs[key] = extern
+        return self.builder.call(extern, [])
 
     def _arithmetic(self, expr: ArithmeticExpr) -> Value:
         b = self.builder

@@ -168,7 +168,8 @@ class CodeGenerator:
         column_cache: dict[tuple[str, str], Value] = {}
         resolver = self._source_resolver(builder, pipeline, row, column_cache)
         compiler = ExpressionCompiler(builder, error_block, resolver,
-                                      self._extern_cache)
+                                      self._extern_cache,
+                                      params=self.state.params)
         self._emit_operators(builder, compiler, pipeline, 0,
                              done_label=latch, row=row,
                              resolver_stack=[resolver])
@@ -337,7 +338,8 @@ class CodeGenerator:
             return parent_resolver(column)
 
         inner_compiler = ExpressionCompiler(builder, compiler.error_block,
-                                            resolve, self._extern_cache)
+                                            resolve, self._extern_cache,
+                                            params=self.state.params)
 
         # Residual predicates of this join, then the rest of the chain; a
         # failing residual moves on to the next match (the inner latch).

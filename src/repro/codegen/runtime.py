@@ -50,6 +50,12 @@ class QueryState:
         self.intermediate_rows: dict[int, int] = {}
         #: collected output rows (tuples)
         self.output_rows: list[tuple] = []
+        #: Bind-parameter values of the current execution, one (encoded)
+        #: value per slot of ``plan.parameters``.  Generated code references
+        #: this list *by identity* (parameter-slot loads are extern closures
+        #: over it), so it is updated in place via :meth:`set_params` and
+        #: deliberately survives :meth:`reset`.
+        self.params: list = [None] * len(getattr(plan, "parameters", ()))
 
         for pipeline in plan.pipelines:
             sink = pipeline.sink
@@ -82,6 +88,14 @@ class QueryState:
         for agg_id in self.intermediate_rows:
             self.intermediate_rows[agg_id] = 0
         self.output_rows.clear()
+
+    def set_params(self, values: list) -> None:
+        """Install one execution's bind-parameter values (in place)."""
+        if len(values) != len(self.params):
+            raise ExecutionError(
+                f"query state expects {len(self.params)} parameter "
+                f"value(s), got {len(values)}")
+        self.params[:] = values
 
     # ------------------------------------------------------------------ #
     def source_row_count(self, pipeline: Pipeline) -> int:

@@ -44,11 +44,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from .cache import PlanCache, normalize_sql
+from .cache import PlanCache, auto_parameterize_sql, normalize_sql
 from .catalog import Catalog
 from .codegen import CodeGenerator, GeneratedQuery, QueryRuntime, QueryState
 from .errors import ExecutionError, ReproError, SchedulerError
+from .options import ExecOptions
 from .optimizer import Planner, PlanningResult
+from .parameters import bind_parameter_values
 from .scheduler import CompileExecutor, QueryScheduler, QueryTicket, \
     Session, WorkerPool
 from .semantics import Binder, BoundQuery
@@ -66,6 +68,12 @@ BASELINE_MODES = ("volcano", "vectorized")
 
 #: Default morsel size (tuples per work unit), as in the paper (~10k).
 DEFAULT_MORSEL_SIZE = 10_000
+
+
+def _hint_type_tag(hints: list) -> str:
+    """Cache-key suffix encoding the natural types of auto-param literals."""
+    codes = {int: "i", float: "f", str: "s"}
+    return "#" + "".join(codes.get(type(hint), "x") for hint in hints)
 
 #: Default worker-pool size of a database (shared by all its queries).
 DEFAULT_WORKERS = 4
@@ -140,8 +148,16 @@ class QueryResult:
                 for value, sql_type in zip(row, self.column_types)))
         return decoded
 
+    def columns(self) -> dict[str, list]:
+        """Column name -> list of values, in result-column order."""
+        return {name: [row[index] for row in self.rows]
+                for index, name in enumerate(self.column_names)}
+
     def __len__(self) -> int:
         return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
 
 
 class Database:
@@ -158,12 +174,17 @@ class Database:
                  plan_cache_size: int = 64,
                  workers: int = DEFAULT_WORKERS,
                  max_concurrent: Optional[int] = None,
-                 max_pending: int = 256):
+                 max_pending: int = 256,
+                 auto_parameterize: bool = True):
         self.catalog = Catalog()
         self.morsel_size = morsel_size
         self._vm = VirtualMachine()
         #: LRU cache of prepared queries; ``plan_cache_size=0`` disables it.
         self.plan_cache = PlanCache(plan_cache_size)
+        #: Default for extracting literal constants into synthetic bind
+        #: parameters on ``execute`` so differing constants share one plan
+        #: cache entry; per-call ``ExecOptions.auto_parameterize`` overrides.
+        self.auto_parameterize = bool(auto_parameterize)
         self._workers = max(int(workers), 1)
         self._max_concurrent = max_concurrent
         self._max_pending = max_pending
@@ -210,33 +231,42 @@ class Database:
                     max_pending=self._max_pending)
             return self._scheduler
 
-    def submit(self, sql: str, mode: str = "adaptive", threads: int = 1,
-               collect_trace: bool = False, use_cache: bool = True,
+    def submit(self, sql: str, mode: Optional[str] = None,
+               threads: Optional[int] = None,
+               collect_trace: Optional[bool] = None,
+               use_cache: Optional[bool] = None,
                session: Optional[Session] = None, block: bool = True,
-               timeout: Optional[float] = None) -> QueryTicket:
+               timeout: Optional[float] = None,
+               options: Optional[ExecOptions] = None,
+               params=None) -> QueryTicket:
         """Submit ``sql`` for asynchronous execution.
 
         Returns a :class:`~repro.scheduler.QueryTicket` immediately; use
         ``ticket.result()`` / ``ticket.done()`` / ``ticket.cancel()``.  The
         query runs on the shared worker pool once admission control lets it
         through; ``block`` / ``timeout`` govern what happens while the
-        bounded admission queue is full.
+        bounded admission queue is full.  ``options`` carries the execution
+        options (legacy keywords override it); ``params`` supplies bind
+        parameter values.
         """
         return self.scheduler.submit(
             sql, mode=mode, threads=threads, collect_trace=collect_trace,
             use_cache=use_cache, session=session, block=block,
-            timeout=timeout)
+            timeout=timeout, options=options, params=params)
 
-    def session(self, mode: str = "adaptive", threads: int = 1,
-                collect_trace: bool = False, use_cache: bool = True,
-                name: str = "") -> Session:
+    def session(self, mode: Optional[str] = None,
+                threads: Optional[int] = None,
+                collect_trace: Optional[bool] = None,
+                use_cache: Optional[bool] = None,
+                name: str = "",
+                options: Optional[ExecOptions] = None) -> Session:
         """A new :class:`~repro.scheduler.Session` bound to this database."""
         with self._runtime_lock:
             if self._closed:
                 raise SchedulerError("database is closed")
         return Session(self, mode=mode, threads=threads,
                        collect_trace=collect_trace, use_cache=use_cache,
-                       name=name)
+                       name=name, options=options)
 
     def close(self) -> None:
         """Shut down the scheduler, worker pool and compile thread.
@@ -272,6 +302,17 @@ class Database:
     def create_table(self, name: str, columns) -> None:
         self.catalog.create_table(name, columns)
 
+    def drop_table(self, name: str) -> None:
+        """Drop a table.
+
+        Routes through the catalog's version counters: the drop bumps the
+        table's version, which invalidates its statistics and every cached
+        plan that references it (the plan cache drops such entries on the
+        next lookup; a directly held ``PreparedQuery`` re-prepares -- and
+        then fails its bind against the missing table).
+        """
+        self.catalog.drop_table(name)
+
     def insert(self, table_name: str, rows, encode: bool = True) -> int:
         table = self.catalog.table(table_name)
         try:
@@ -289,16 +330,24 @@ class Database:
     # ------------------------------------------------------------------ #
     # planning
     # ------------------------------------------------------------------ #
-    def prepare(self, sql: str) -> tuple[BoundQuery, PlanningResult,
-                                         PhaseTimings]:
-        """Parse, bind and plan a query, returning the phase timings so far."""
+    def prepare(self, sql: str, parameter_hints: Optional[list] = None
+                ) -> tuple[BoundQuery, PlanningResult, PhaseTimings]:
+        """Parse, bind and plan a query, returning the phase timings so far.
+
+        ``parameter_hints`` optionally carries the literal values extracted
+        by auto-parameterization (one per parameter slot); the binder uses
+        them to seed parameter types and the optimizer uses them for
+        cardinality estimation, so an auto-parameterized statement plans
+        exactly like its literal form.
+        """
         timings = PhaseTimings()
         start = time.perf_counter()
         statement = parse(sql)
         timings.parse = time.perf_counter() - start
 
         start = time.perf_counter()
-        bound = Binder(self.catalog).bind(statement)
+        bound = Binder(self.catalog).bind(statement,
+                                          parameter_hints=parameter_hints)
         timings.bind = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -306,10 +355,10 @@ class Database:
         timings.plan = time.perf_counter() - start
         return bound, planning, timings
 
-    def generate(self, sql: str) -> tuple[GeneratedQuery, PlanningResult,
-                                          PhaseTimings]:
+    def generate(self, sql: str, parameter_hints: Optional[list] = None
+                 ) -> tuple[GeneratedQuery, PlanningResult, PhaseTimings]:
         """Plan a query and generate its IR module (no execution)."""
-        _, planning, timings = self.prepare(sql)
+        _, planning, timings = self.prepare(sql, parameter_hints)
         state = QueryState(planning.physical)
         generator = CodeGenerator(planning.physical, state)
         generated = generator.generate()
@@ -319,33 +368,47 @@ class Database:
     # ------------------------------------------------------------------ #
     # prepared queries / plan cache
     # ------------------------------------------------------------------ #
-    def prepare_query(self, sql: str):
+    def prepare_query(self, sql: str,
+                      parameter_hints: Optional[list] = None):
         """The :class:`repro.prepared.PreparedQuery` for ``sql``.
 
         Consults the plan cache first (keyed on normalized SQL); on a miss
         the query is parsed, bound, planned and code-generated once, and the
         resulting entry is cached for subsequent ``prepare_query`` and
-        ``execute`` calls.
+        ``execute`` calls.  ``sql`` may contain ``?`` / ``:name``
+        placeholders; supply the values per execution via ``params=``.
+
+        With ``parameter_hints`` (the auto-parameterization path) the key is
+        additionally qualified by the hints' natural types: the entry's
+        parameter types were inferred from the first-seen constants, so
+        ``a = 2`` and ``a = 2.5`` must land on *separate* entries -- an
+        INT64-typed plan bound with 2.5 would silently diverge from the
+        literal form.  Same-typed constants (the common case) still collide
+        on one entry.
         """
         key = normalize_sql(sql)
+        if parameter_hints is not None:
+            key += _hint_type_tag(parameter_hints)
         if self.plan_cache.capacity > 0:
             prepared = self.plan_cache.get(key)
             if prepared is not None:
                 return prepared
-        prepared = self._build_prepared(sql)
+        prepared = self._build_prepared(sql, parameter_hints)
         self.plan_cache.put(key, prepared)
         return prepared
 
-    def _build_prepared(self, sql: str):
+    def _build_prepared(self, sql: str,
+                        parameter_hints: Optional[list] = None):
         from .prepared import PreparedQuery
 
         # Snapshot the catalog version before planning: a table change that
         # races with the build then makes the entry invalid instead of being
         # stamped into it as current.
         catalog_version = self.catalog.version
-        generated, planning, timings = self.generate(sql)
+        generated, planning, timings = self.generate(sql, parameter_hints)
         return PreparedQuery(self, sql, generated, planning, timings,
-                             catalog_version)
+                             catalog_version,
+                             parameter_hints=parameter_hints)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -367,33 +430,63 @@ class Database:
                 f"unknown execution mode {mode!r}; expected one of "
                 f"{ENGINE_MODES + BASELINE_MODES}")
 
-    def execute(self, sql: str, mode: str = "adaptive", threads: int = 1,
-                collect_trace: bool = False,
-                use_cache: bool = True) -> QueryResult:
-        """Execute ``sql`` with the given execution mode.
+    def execute(self, sql: str, mode: Optional[str] = None,
+                threads: Optional[int] = None,
+                collect_trace: Optional[bool] = None,
+                use_cache: Optional[bool] = None,
+                options: Optional[ExecOptions] = None,
+                params=None) -> QueryResult:
+        """Execute ``sql`` with the given execution options.
+
+        ``options`` (an :class:`repro.ExecOptions`) describes how to run;
+        the legacy ``mode`` / ``threads`` / ``collect_trace`` / ``use_cache``
+        keywords override individual fields.  ``params`` supplies bind
+        parameter values -- a sequence for ``?`` placeholders, a mapping for
+        ``:name`` placeholders.
 
         Engine modes are served through the plan cache: repeated executions
         of the same (normalized) SQL reuse the cached plan, IR and compiled
-        tiers.  ``use_cache=False`` forces a cold build of all artifacts.
-        Parallel executions (``threads > 1``) draw their workers from the
-        database's shared pool; the calling thread participates, so this
-        works both for direct calls and from scheduler workers.
+        tiers.  When a statement without placeholders arrives with caching
+        enabled, its literal constants are auto-parameterized (unless opted
+        out), so all executions of one query *shape* collide on one cache
+        entry regardless of the constants.  ``use_cache=False`` forces a
+        cold build of all artifacts from the original text.  Parallel
+        executions (``threads > 1``) draw their workers from the database's
+        shared pool; the calling thread participates, so this works both for
+        direct calls and from scheduler workers.
         """
-        self._validate_mode(sql, mode, threads, collect_trace)
-        if mode in BASELINE_MODES:
-            return self._execute_baseline(sql, mode)
+        opts = ExecOptions.resolve(options, mode=mode, threads=threads,
+                                   collect_trace=collect_trace,
+                                   use_cache=use_cache)
+        self._validate_mode(sql, opts.mode, opts.threads, opts.collect_trace)
+        if opts.mode in BASELINE_MODES:
+            return self._execute_baseline(sql, opts.mode, params)
 
-        if use_cache and self.plan_cache.capacity > 0:
-            prepared = self.prepare_query(sql)
-            result = prepared.execute_nowait(mode=mode, threads=threads,
-                                             collect_trace=collect_trace)
+        exec_sql, exec_params, hints = sql, params, None
+        use_cache_now = opts.use_cache and self.plan_cache.capacity > 0
+        auto = (opts.auto_parameterize if opts.auto_parameterize is not None
+                else self.auto_parameterize)
+        if auto and use_cache_now and params is None:
+            rewritten = auto_parameterize_sql(sql)
+            if rewritten is not None:
+                exec_sql, extracted = rewritten
+                exec_params = extracted
+                hints = extracted
+
+        if use_cache_now:
+            prepared = self.prepare_query(exec_sql, parameter_hints=hints)
+            result = prepared.execute_nowait(mode=opts.mode,
+                                             threads=opts.threads,
+                                             collect_trace=opts.collect_trace,
+                                             params=exec_params)
             if result is not None:
                 return result
             # The cached entry is mid-execution on another thread; run an
             # independent cold build instead of blocking on its state.
-        prepared = self._build_prepared(sql)
-        return prepared.execute(mode=mode, threads=threads,
-                                collect_trace=collect_trace)
+        prepared = self._build_prepared(exec_sql, parameter_hints=hints)
+        return prepared.execute(mode=opts.mode, threads=opts.threads,
+                                collect_trace=opts.collect_trace,
+                                params=exec_params)
 
     # ------------------------------------------------------------------ #
     def _execute_static(self, generated: GeneratedQuery,
@@ -489,14 +582,16 @@ class Database:
             trace=trace)
 
     # ------------------------------------------------------------------ #
-    def _execute_baseline(self, sql: str, mode: str) -> QueryResult:
+    def _execute_baseline(self, sql: str, mode: str,
+                          params=None) -> QueryResult:
         from .baselines import VectorizedEngine, VolcanoEngine
 
         bound, planning, timings = self.prepare(sql)
+        values = bind_parameter_values(bound.parameters, params)
         engine = (VolcanoEngine(self.catalog) if mode == "volcano"
                   else VectorizedEngine(self.catalog))
         start = time.perf_counter()
-        rows = engine.execute(planning.physical)
+        rows = engine.execute(planning.physical, values)
         timings.execution = time.perf_counter() - start
         column_names = [name for name, _ in planning.physical.output_columns]
         column_types = [sql_type for _, sql_type

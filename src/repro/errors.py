@@ -34,6 +34,17 @@ class BindError(SQLError):
     """Semantic analysis failed (unknown table/column, type mismatch, ...)."""
 
 
+class ParameterError(SQLError):
+    """A bind parameter was misused.
+
+    Raised when a parameter's type cannot be inferred from its context, when
+    the values supplied at execution time do not match the statement's
+    parameters (wrong arity, unknown/missing names), or when a value cannot
+    be converted to the parameter's inferred SQL type (including NULL, which
+    this engine does not support).
+    """
+
+
 class CatalogError(ReproError):
     """Schema or table level error (duplicate table, unknown column, ...)."""
 

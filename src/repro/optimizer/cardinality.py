@@ -21,8 +21,25 @@ from ..semantics.expressions import (
     LiteralExpr,
     LogicalExpr,
     NotExpr,
+    ParameterExpr,
     TypedExpression,
 )
+
+
+def _constant_operand(expr: TypedExpression):
+    """``(is_constant, value)`` for literal-like comparison operands.
+
+    Bind parameters count as constants -- one plan must serve every binding
+    -- with the auto-parameterization hint (the literal the parameter
+    replaced, already encoded) standing in as the value.  A parameter
+    without a hint yields ``value=None`` and falls back to the default
+    selectivities.
+    """
+    if isinstance(expr, LiteralExpr):
+        return True, expr.value
+    if isinstance(expr, ParameterExpr):
+        return True, expr.hint
+    return False, None
 
 #: Default selectivities for predicate shapes whose statistics are unknown.
 DEFAULT_RANGE_SELECTIVITY = 0.3
@@ -92,13 +109,13 @@ class CardinalityEstimator:
     # ------------------------------------------------------------------ #
     def _comparison_selectivity(self, binding: TableBinding,
                                 predicate: ComparisonExpr) -> float:
-        column, literal = None, None
-        if isinstance(predicate.left, ColumnExpr) and \
-                isinstance(predicate.right, LiteralExpr):
-            column, literal = predicate.left, predicate.right
-        elif isinstance(predicate.right, ColumnExpr) and \
-                isinstance(predicate.left, LiteralExpr):
-            column, literal = predicate.right, predicate.left
+        column, value = None, None
+        left_const, left_value = _constant_operand(predicate.left)
+        right_const, right_value = _constant_operand(predicate.right)
+        if isinstance(predicate.left, ColumnExpr) and right_const:
+            column, value = predicate.left, right_value
+        elif isinstance(predicate.right, ColumnExpr) and left_const:
+            column, value = predicate.right, left_value
         if column is None:
             return DEFAULT_SELECTIVITY
         stats = self._column_stats(binding, column)
@@ -111,12 +128,12 @@ class CardinalityEstimator:
                 return 1.0 - 1.0 / stats.num_distinct
             return 1.0 - DEFAULT_EQUALITY_SELECTIVITY
         # Range predicate: interpolate against min/max when available.
-        if stats is not None and isinstance(literal.value, (int, float)) \
+        if stats is not None and isinstance(value, (int, float)) \
                 and isinstance(stats.min_value, (int, float)) \
                 and isinstance(stats.max_value, (int, float)) \
                 and stats.max_value > stats.min_value:
             span = stats.max_value - stats.min_value
-            fraction = (literal.value - stats.min_value) / span
+            fraction = (value - stats.min_value) / span
             fraction = min(max(fraction, 0.0), 1.0)
             if predicate.operator in ("<", "<="):
                 return max(fraction, 0.01)

@@ -382,7 +382,8 @@ class Planner:
         return PhysicalPlan(pipelines=pipelines,
                             output_columns=output_columns,
                             table_sources=table_sources,
-                            intermediate_sources=intermediate_sources)
+                            intermediate_sources=intermediate_sources,
+                            parameters=list(query.parameters))
 
     # ------------------------------------------------------------------ #
     def _needed_columns(self, query: BoundQuery, steps, residuals

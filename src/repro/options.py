@@ -1,0 +1,96 @@
+"""Unified execution options for every query entry point.
+
+One :class:`ExecOptions` value describes *how* a statement executes --
+execution mode, thread budget, tracing, plan-cache usage and
+auto-parameterization -- and is accepted by all five call sites:
+``Database.execute``, ``Database.submit``, ``Session``, ``PreparedQuery``
+and ``QueryScheduler.submit``.  The historical per-call keyword arguments
+(``mode=``, ``threads=``, ``collect_trace=``, ``use_cache=``) remain as a
+thin back-compat shim: every call site resolves them *on top of* an
+optional ``options=`` value via :meth:`ExecOptions.resolve`, with explicit
+keywords winning.
+
+What a statement executes *with* -- the bind-parameter values -- is
+deliberately not part of :class:`ExecOptions`: parameters vary per call,
+options describe a policy, so ``params=`` stays a separate argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """How one query execution should run.
+
+    ``auto_parameterize=None`` means "use the database's default"; ``True``
+    / ``False`` force auto-parameterization on or off for this call.
+    """
+
+    mode: str = "adaptive"
+    threads: int = 1
+    collect_trace: bool = False
+    use_cache: bool = True
+    auto_parameterize: Optional[bool] = None
+
+    @classmethod
+    def resolve(cls, options: Optional["ExecOptions"] = None,
+                **overrides) -> "ExecOptions":
+        """Merge legacy keyword overrides onto ``options`` (or the defaults).
+
+        Overrides that are ``None`` (the shim's "not given" marker) are
+        ignored, so ``resolve(opts)`` returns ``opts`` unchanged and
+        ``resolve(None, mode="volcano")`` equals
+        ``ExecOptions(mode="volcano")``.
+        """
+        base = options if options is not None else cls()
+        if not isinstance(base, ExecOptions):
+            raise ExecutionError(
+                f"options must be an ExecOptions, got "
+                f"{type(base).__name__}; pass mode/threads/... as keywords "
+                f"instead")
+        supplied = {key: value for key, value in overrides.items()
+                    if value is not None}
+        if not supplied:
+            return base
+        unknown = set(supplied) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ExecutionError(
+                f"unknown execution option(s) {sorted(unknown)}")
+        return dataclasses.replace(base, **supplied)
+
+    def merged(self, **overrides) -> "ExecOptions":
+        """This options value with non-``None`` overrides applied."""
+        return ExecOptions.resolve(self, **overrides)
+
+
+class OptionsAccessors:
+    """Read-only legacy accessors for classes carrying an ``options`` field.
+
+    ``QueryTicket`` and ``Session`` historically exposed the execution
+    options as individual attributes; this mixin keeps those working on top
+    of the authoritative :class:`ExecOptions` value.
+    """
+
+    options: ExecOptions
+
+    @property
+    def mode(self) -> str:
+        return self.options.mode
+
+    @property
+    def threads(self) -> int:
+        return self.options.threads
+
+    @property
+    def collect_trace(self) -> bool:
+        return self.options.collect_trace
+
+    @property
+    def use_cache(self) -> bool:
+        return self.options.use_cache

@@ -1,0 +1,149 @@
+"""Bind-parameter specs and value binding.
+
+The binder infers one :class:`ParameterSpec` per parameter slot of a
+statement (see :class:`repro.semantics.expressions.ParameterExpr`); at
+execution time :func:`bind_parameter_values` validates the caller-supplied
+values against those specs -- arity for positional parameters, exact name
+sets for named parameters -- and encodes every value into the engine's
+internal representation (dates as epoch days, booleans as 0/1, ...).
+
+All misuse surfaces as :class:`repro.errors.ParameterError`, including NULL
+values: this engine has no NULL support, so ``None`` is always rejected.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import ParameterError
+from .types import SQLType, date_to_days
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One parameter slot of a statement: its position, name and SQL type."""
+
+    index: int
+    sql_type: SQLType
+    name: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """Human-readable identifier used in error messages."""
+        return f":{self.name}" if self.name else f"?{self.index + 1}"
+
+
+def encode_parameter(value, sql_type: SQLType, label: str):
+    """Encode one Python value into the internal form of ``sql_type``.
+
+    Raises :class:`ParameterError` for NULL and for values that cannot be
+    converted losslessly (e.g. a non-integral float bound to an INT64
+    parameter, or a non-ISO string bound to a DATE parameter).
+    """
+    if value is None:
+        raise ParameterError(
+            f"parameter {label} is NULL; this engine does not support NULL "
+            f"values")
+    if sql_type is SQLType.INT64:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise ParameterError(
+            f"parameter {label} expects an integer, got {value!r}")
+    if sql_type is SQLType.FLOAT64 or sql_type is SQLType.DECIMAL:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        raise ParameterError(
+            f"parameter {label} expects a number, got {value!r}")
+    if sql_type is SQLType.STRING:
+        if isinstance(value, str):
+            return value
+        raise ParameterError(
+            f"parameter {label} expects a string, got {value!r}")
+    if sql_type is SQLType.DATE:
+        if isinstance(value, (_dt.date, str)):
+            try:
+                return date_to_days(value)
+            except ValueError as exc:
+                raise ParameterError(
+                    f"parameter {label} expects an ISO date, "
+                    f"got {value!r}") from exc
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value  # already epoch days
+        raise ParameterError(
+            f"parameter {label} expects a date, got {value!r}")
+    if sql_type is SQLType.BOOL:
+        if isinstance(value, bool):
+            return 1 if value else 0
+        if isinstance(value, int) and value in (0, 1):
+            return value
+        raise ParameterError(
+            f"parameter {label} expects a boolean, got {value!r}")
+    raise ParameterError(
+        f"parameter {label} has unsupported type {sql_type}")
+
+
+def bind_parameter_values(specs: Sequence[ParameterSpec],
+                          params) -> list:
+    """Validate and encode caller-supplied parameter values.
+
+    ``params`` is a sequence for positional statements, a mapping for named
+    statements, or ``None``/empty for statements without parameters.
+    Returns the encoded values in slot order.
+    """
+    specs = list(specs)
+    named = any(spec.name is not None for spec in specs)
+
+    if not specs:
+        if params:
+            raise ParameterError(
+                f"query takes no parameters, got {params!r}")
+        return []
+
+    if params is None:
+        raise ParameterError(
+            f"query expects {len(specs)} parameter(s) "
+            f"({', '.join(s.label for s in specs)}), got none")
+
+    if named:
+        if not isinstance(params, Mapping):
+            raise ParameterError(
+                "query uses named parameters; pass a mapping of "
+                f"name -> value, got {type(params).__name__}")
+        expected = {spec.name for spec in specs}
+        supplied = {str(key).lower() for key in params}
+        missing = sorted(expected - supplied)
+        extra = sorted(supplied - expected)
+        if missing or extra:
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"unknown {extra}")
+            raise ParameterError(
+                f"named parameter mismatch: {'; '.join(detail)}")
+        by_name = {str(key).lower(): value for key, value in params.items()}
+        return [encode_parameter(by_name[spec.name], spec.sql_type,
+                                 spec.label)
+                for spec in specs]
+
+    if isinstance(params, Mapping):
+        raise ParameterError(
+            "query uses positional parameters; pass a sequence of values, "
+            f"got a mapping")
+    if isinstance(params, str) or not isinstance(params, Sequence):
+        raise ParameterError(
+            f"positional parameters must be a sequence, got "
+            f"{type(params).__name__}")
+    values = list(params)
+    if len(values) != len(specs):
+        raise ParameterError(
+            f"query expects {len(specs)} parameter(s), got {len(values)}")
+    return [encode_parameter(value, spec.sql_type, spec.label)
+            for spec, value in zip(specs, values)]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..catalog import Table
+from ..parameters import ParameterSpec
 from ..semantics.expressions import ColumnExpr, TypedExpression
 from ..types import SQLType
 
@@ -176,6 +177,10 @@ class PhysicalPlan:
     #: Map source_id -> IntermediateSource for every materialised intermediate.
     intermediate_sources: dict[int, IntermediateSource] = field(
         default_factory=dict)
+    #: Bind-parameter slots of the query, in slot order (empty when the
+    #: statement has no parameters).  Execution binds one value per spec
+    #: into the query state before the pipelines run.
+    parameters: list[ParameterSpec] = field(default_factory=list)
 
     def describe(self) -> str:
         return "\n".join(f"P{p.pipeline_id}: {p.describe()}"

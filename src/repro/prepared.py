@@ -38,6 +38,8 @@ from typing import Optional
 from .adaptive import AdaptiveExecutor, StaticParallelExecutor
 from .engine import ENGINE_MODES, PhaseTimings, QueryResult
 from .errors import ExecutionError
+from .options import ExecOptions
+from .parameters import ParameterSpec, bind_parameter_values
 from .plan.physical import TableSource
 
 
@@ -55,9 +57,15 @@ class PreparedQuery:
     """One query's cached plan, code and compiled execution tiers."""
 
     def __init__(self, database, sql: str, generated, planning,
-                 build_timings: PhaseTimings, catalog_version: int):
+                 build_timings: PhaseTimings, catalog_version: int,
+                 parameter_hints: Optional[list] = None):
         self.database = database
         self.sql = sql
+        #: Literal values auto-parameterization extracted (None for
+        #: explicitly written statements); re-used when the entry re-binds
+        #: after invalidation, since hint-typed parameters (e.g. a constant
+        #: projection) cannot be typed from context alone.
+        self.parameter_hints = parameter_hints
         self.generated = generated
         self.planning = planning
         #: Phase timings of building this entry (parse/bind/plan/codegen);
@@ -86,6 +94,11 @@ class PreparedQuery:
     def referenced_tables(self) -> frozenset[str]:
         return self._referenced
 
+    @property
+    def parameters(self) -> list[ParameterSpec]:
+        """The statement's bind-parameter slots (empty when literal-only)."""
+        return self.planning.physical.parameters
+
     def is_valid(self) -> bool:
         """Whether no referenced table changed since this plan was built."""
         catalog = self.database.catalog
@@ -95,7 +108,8 @@ class PreparedQuery:
     def _rebuild(self) -> None:
         """Re-prepare after a referenced table changed (data or DDL)."""
         catalog_version = self.database.catalog.version
-        generated, planning, timings = self.database.generate(self.sql)
+        generated, planning, timings = self.database.generate(
+            self.sql, self.parameter_hints)
         self.generated = generated
         self.planning = planning
         self.build_timings = timings
@@ -106,30 +120,38 @@ class PreparedQuery:
         self._first_execution = True
 
     # ------------------------------------------------------------------ #
-    def execute(self, mode: str = "adaptive", threads: int = 1,
-                collect_trace: bool = False,
+    def execute(self, mode: Optional[str] = None,
+                threads: Optional[int] = None,
+                collect_trace: Optional[bool] = None,
                 cost_model=None,
-                policy=None) -> QueryResult:
+                policy=None,
+                options: Optional[ExecOptions] = None,
+                params=None) -> QueryResult:
         """Execute the prepared query in any compiled-engine mode.
 
-        ``cost_model`` / ``policy`` override the adaptive policy inputs for
-        this execution (adaptive mode only).  The first execution after
-        (re)preparation reports the full build timings; later executions
-        report zero for parse/bind/plan/codegen and only pay compilation for
-        tiers not compiled yet.
+        ``params`` supplies the bind-parameter values of this execution (a
+        sequence for positional ``?`` statements, a mapping for ``:name``
+        statements).  ``cost_model`` / ``policy`` override the adaptive
+        policy inputs for this execution (adaptive mode only).  The first
+        execution after (re)preparation reports the full build timings;
+        later executions report zero for parse/bind/plan/codegen and only
+        pay compilation for tiers not compiled yet.
         """
-        if mode not in ENGINE_MODES:
-            raise ExecutionError(
-                f"unknown execution mode {mode!r} for a prepared query; "
-                f"expected one of {ENGINE_MODES}")
+        opts = ExecOptions.resolve(options, mode=mode, threads=threads,
+                                   collect_trace=collect_trace)
+        self._check_mode(opts.mode)
         with self._lock:
-            return self._execute_locked(mode, threads, collect_trace,
-                                        cost_model, policy)
+            return self._execute_locked(opts.mode, opts.threads,
+                                        opts.collect_trace, cost_model,
+                                        policy, params)
 
-    def execute_nowait(self, mode: str = "adaptive", threads: int = 1,
-                       collect_trace: bool = False,
+    def execute_nowait(self, mode: Optional[str] = None,
+                       threads: Optional[int] = None,
+                       collect_trace: Optional[bool] = None,
                        cost_model=None,
-                       policy=None) -> Optional[QueryResult]:
+                       policy=None,
+                       options: Optional[ExecOptions] = None,
+                       params=None) -> Optional[QueryResult]:
         """Like :meth:`execute`, but returns ``None`` instead of blocking
         when another thread is currently executing this entry.
 
@@ -137,26 +159,38 @@ class PreparedQuery:
         same statement independent: the loser of the race falls back to a
         cold build rather than waiting for the cached entry's state.
         """
+        opts = ExecOptions.resolve(options, mode=mode, threads=threads,
+                                   collect_trace=collect_trace)
+        self._check_mode(opts.mode)
+        if not self._lock.acquire(blocking=False):
+            return None
+        try:
+            return self._execute_locked(opts.mode, opts.threads,
+                                        opts.collect_trace, cost_model,
+                                        policy, params)
+        finally:
+            self._lock.release()
+
+    @staticmethod
+    def _check_mode(mode: str) -> None:
         if mode not in ENGINE_MODES:
             raise ExecutionError(
                 f"unknown execution mode {mode!r} for a prepared query; "
                 f"expected one of {ENGINE_MODES}")
-        if not self._lock.acquire(blocking=False):
-            return None
-        try:
-            return self._execute_locked(mode, threads, collect_trace,
-                                        cost_model, policy)
-        finally:
-            self._lock.release()
 
     def _execute_locked(self, mode, threads, collect_trace, cost_model,
-                        policy) -> QueryResult:
+                        policy, params) -> QueryResult:
         if not self.is_valid():
             self._rebuild()
+        # Bind parameter values against the (possibly re-prepared) specs
+        # before touching any state, so arity/type errors leave the entry
+        # fully reusable.
+        values = bind_parameter_values(self.parameters, params)
         first = self._first_execution
         self._first_execution = False
         timings = replace(self.build_timings) if first else PhaseTimings()
         self.generated.reset_for_execution()
+        self.generated.state.set_params(values)
         database = self.database
 
         if mode == "adaptive":

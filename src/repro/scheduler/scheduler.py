@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from ..errors import AdmissionError, QueryCancelledError, SchedulerError
+from ..options import ExecOptions, OptionsAccessors
 from .pool import TaskSource, WorkerPool
 
 
@@ -41,18 +42,17 @@ class TicketState(enum.Enum):
     CANCELLED = "cancelled"
 
 
-class QueryTicket:
+class QueryTicket(OptionsAccessors):
     """Handle to one submitted query; resolves to a ``QueryResult``."""
 
-    def __init__(self, scheduler: "QueryScheduler", sql: str, mode: str,
-                 threads: int, collect_trace: bool, use_cache: bool,
-                 session=None):
+    def __init__(self, scheduler: "QueryScheduler", sql: str,
+                 options: ExecOptions, params=None, session=None):
         self._scheduler = scheduler
         self.sql = sql
-        self.mode = mode
-        self.threads = threads
-        self.collect_trace = collect_trace
-        self.use_cache = use_cache
+        #: The resolved execution options of this submission.
+        self.options = options
+        #: Bind-parameter values (sequence / mapping / None).
+        self.params = params
         self.session = session
         self.submitted_at = time.perf_counter()
         self.started_at: Optional[float] = None
@@ -187,20 +187,29 @@ class QueryScheduler(TaskSource):
             return self._running
 
     # ------------------------------------------------------------------ #
-    def submit(self, sql: str, mode: str = "adaptive", threads: int = 1,
-               collect_trace: bool = False, use_cache: bool = True,
+    def submit(self, sql: str, mode: Optional[str] = None,
+               threads: Optional[int] = None,
+               collect_trace: Optional[bool] = None,
+               use_cache: Optional[bool] = None,
                session=None, block: bool = True,
-               timeout: Optional[float] = None) -> QueryTicket:
+               timeout: Optional[float] = None,
+               options: Optional[ExecOptions] = None,
+               params=None) -> QueryTicket:
         """Queue ``sql`` for execution and return its ticket immediately.
 
+        ``options`` carries the execution options (legacy keywords override
+        individual fields); ``params`` supplies bind-parameter values.
         Invalid modes are rejected here (synchronously) rather than when
         the query eventually runs.  A full admission queue blocks the
         caller until space frees up (``timeout`` bounds the wait), or
         rejects at once with :class:`AdmissionError` when ``block=False``.
         """
-        self._database._validate_mode(sql, mode, threads, collect_trace)
-        ticket = QueryTicket(self, sql, mode, threads, collect_trace,
-                             use_cache, session)
+        opts = ExecOptions.resolve(options, mode=mode, threads=threads,
+                                   collect_trace=collect_trace,
+                                   use_cache=use_cache)
+        self._database._validate_mode(sql, opts.mode, opts.threads,
+                                      opts.collect_trace)
+        ticket = QueryTicket(self, sql, opts, params, session)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._pool.condition:
             while True:
@@ -266,9 +275,7 @@ class QueryScheduler(TaskSource):
         try:
             ticket._mark_running()
             result = self._database.execute(
-                ticket.sql, mode=ticket.mode, threads=ticket.threads,
-                collect_trace=ticket.collect_trace,
-                use_cache=ticket.use_cache)
+                ticket.sql, options=ticket.options, params=ticket.params)
             result.timings.queue = ticket.started_at - ticket.submitted_at
         except BaseException as exc:
             error = exc

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..errors import SchedulerError
+from ..options import ExecOptions, OptionsAccessors
 
 
 @dataclass
@@ -34,17 +36,22 @@ class SessionStats:
     run_seconds: float = 0.0
 
 
-class Session:
+class Session(OptionsAccessors):
     """One client's view of a :class:`repro.Database`."""
 
-    def __init__(self, database, mode: str = "adaptive", threads: int = 1,
-                 collect_trace: bool = False, use_cache: bool = True,
-                 name: str = ""):
+    def __init__(self, database, mode: Optional[str] = None,
+                 threads: Optional[int] = None,
+                 collect_trace: Optional[bool] = None,
+                 use_cache: Optional[bool] = None,
+                 name: str = "",
+                 options: Optional[ExecOptions] = None):
         self.database = database
-        self.mode = mode
-        self.threads = threads
-        self.collect_trace = collect_trace
-        self.use_cache = use_cache
+        #: The session's default execution options; per-call overrides are
+        #: resolved on top of this value.
+        self.options = ExecOptions.resolve(options, mode=mode,
+                                           threads=threads,
+                                           collect_trace=collect_trace,
+                                           use_cache=use_cache)
         self.name = name or f"session-{id(self):x}"
         self._lock = threading.Lock()
         self._stats = SessionStats()
@@ -61,38 +68,40 @@ class Session:
         with self._lock:
             return replace(self._stats)
 
-    def _defaults(self, overrides: dict) -> dict:
-        params = {"mode": self.mode, "threads": self.threads,
-                  "collect_trace": self.collect_trace,
-                  "use_cache": self.use_cache}
-        unknown = set(overrides) - set(params)
-        if unknown:
+    def _resolve(self, overrides: dict) -> ExecOptions:
+        try:
+            return self.options.merged(**overrides)
+        except Exception as exc:
             raise SchedulerError(
-                f"unknown session override(s) {sorted(unknown)}; "
-                f"expected a subset of {sorted(params)}")
-        params.update(overrides)
-        return params
+                f"invalid session override(s) {sorted(overrides)}: "
+                f"{exc}") from exc
 
     def _check_open(self) -> None:
         if self._closed:
             raise SchedulerError(f"session {self.name!r} is closed")
 
     # ------------------------------------------------------------------ #
-    def execute(self, sql: str, **overrides):
-        """Synchronously execute ``sql`` with the session's defaults."""
+    def execute(self, sql: str, params=None, **overrides):
+        """Synchronously execute ``sql`` with the session's defaults.
+
+        ``params`` supplies bind-parameter values; the remaining keyword
+        overrides (``mode=``, ``threads=``, ...) apply on top of the
+        session's default :class:`ExecOptions` for this call only.
+        """
         self._check_open()
-        params = self._defaults(overrides)
+        options = self._resolve(overrides)
         with self._lock:
             self._stats.submitted += 1
         try:
-            result = self.database.execute(sql, **params)
+            result = self.database.execute(sql, options=options,
+                                           params=params)
         except BaseException:
             self._record_failure()
             raise
         self._record_result(result)
         return result
 
-    def submit(self, sql: str, **overrides):
+    def submit(self, sql: str, params=None, **overrides):
         """Submit ``sql`` to the scheduler; returns a ``QueryTicket``.
 
         The ticket reports completion back to this session, so the stats
@@ -103,8 +112,9 @@ class Session:
         enqueue, so ``db.submit(sql, session=s)`` counts identically.
         """
         self._check_open()
-        params = self._defaults(overrides)
-        return self.database.scheduler.submit(sql, session=self, **params)
+        options = self._resolve(overrides)
+        return self.database.scheduler.submit(sql, session=self,
+                                              options=options, params=params)
 
     # ------------------------------------------------------------------ #
     # accounting callbacks (used by execute above and by the scheduler)

@@ -7,7 +7,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..catalog import Catalog, Table
-from ..errors import BindError
+from ..errors import BindError, ParameterError
+from ..parameters import ParameterSpec, encode_parameter
 from ..sqlparser import ast_nodes as ast
 from ..types import (
     SQLType,
@@ -30,6 +31,7 @@ from .expressions import (
     LiteralExpr,
     LogicalExpr,
     NotExpr,
+    ParameterExpr,
     TypedExpression,
     collect_aggregates,
     split_conjuncts,
@@ -73,6 +75,9 @@ class BoundQuery:
     order_by: list[tuple[TypedExpression, bool]] = field(default_factory=list)
     limit: Optional[int] = None
     distinct: bool = False
+    #: One spec per bind-parameter slot, in slot order (empty when the
+    #: statement has no parameters).
+    parameters: list[ParameterSpec] = field(default_factory=list)
 
     @property
     def has_aggregation(self) -> bool:
@@ -92,9 +97,33 @@ class Binder:
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
+        #: Parameter-binding state, reset per :meth:`bind` call.
+        self._param_types: dict[int, SQLType] = {}
+        self._param_nodes: dict[int, list[ParameterExpr]] = {}
+        #: Slots whose type came from an auto-parameterization hint rather
+        #: than a binding context; they may still be re-typed the way the
+        #: literal they replaced would have been coerced.
+        self._param_provisional: set[int] = set()
+        self._param_names: list[Optional[str]] = []
+        self._param_hints: Optional[list] = None
 
     # ------------------------------------------------------------------ #
-    def bind(self, statement: ast.SelectStatement) -> BoundQuery:
+    def bind(self, statement: ast.SelectStatement,
+             parameter_hints: Optional[list] = None) -> BoundQuery:
+        """Bind ``statement``; ``parameter_hints`` optionally supplies the
+        literal values that auto-parameterization extracted (one per slot),
+        used to seed parameter types and cardinality estimates."""
+        self._param_types = {}
+        self._param_nodes = {}
+        self._param_provisional = set()
+        self._param_names = list(statement.parameters)
+        if parameter_hints is not None \
+                and len(parameter_hints) != len(self._param_names):
+            raise ParameterError(
+                f"got {len(parameter_hints)} parameter hints for "
+                f"{len(self._param_names)} parameter slot(s)")
+        self._param_hints = (list(parameter_hints)
+                             if parameter_hints is not None else None)
         bindings = self._bind_from(statement)
         scope = _Scope(bindings)
 
@@ -137,9 +166,116 @@ class Binder:
             order_by=order_by,
             limit=statement.limit,
             distinct=statement.distinct,
+            parameters=self._finalize_parameters(),
         )
         self._validate_aggregation(bound)
         return bound
+
+    # ------------------------------------------------------------------ #
+    # bind parameters
+    # ------------------------------------------------------------------ #
+    def _param_label(self, index: int) -> str:
+        name = (self._param_names[index]
+                if index < len(self._param_names) else None)
+        return f":{name}" if name else f"?{index + 1}"
+
+    def _bind_parameter(self, node: ast.Parameter) -> ParameterExpr:
+        expr = ParameterExpr(index=node.index, name=node.name)
+        declared = self._param_types.get(node.index)
+        if declared is not None:
+            expr.result_type = declared
+        elif self._param_hints is not None:
+            natural = _natural_hint_type(self._param_hints[node.index])
+            if natural is not None:
+                self._param_types[node.index] = natural
+                self._param_provisional.add(node.index)
+                expr.result_type = natural
+        self._param_nodes.setdefault(node.index, []).append(expr)
+        return expr
+
+    def _set_parameter_type(self, param: ParameterExpr,
+                            target: SQLType) -> None:
+        """Fix a parameter slot's type, propagating to all its occurrences."""
+        index = param.index
+        current = self._param_types.get(index)
+        if current is not None and current is not target \
+                and index not in self._param_provisional:
+            raise ParameterError(
+                f"parameter {self._param_label(index)} is used both as "
+                f"{current} and as {target}")
+        self._param_types[index] = target
+        self._param_provisional.discard(index)
+        for node in self._param_nodes.get(index, []):
+            node.result_type = target
+
+    def _infer_parameter_from(self, param: ParameterExpr,
+                              target: Optional[SQLType]) -> None:
+        """Give ``param`` a type based on the context type ``target``.
+
+        An untyped parameter simply takes the context type.  A provisionally
+        typed one (auto-parameterization hint) is re-typed exactly the way
+        the literal it replaced would have been coerced: int -> float
+        promotion and string -> date conversion; every other combination is
+        left to the regular coercion rules, so mismatches raise the same
+        :class:`BindError` the literal form raises.
+        """
+        current = self._param_types.get(param.index)
+        if current is None:
+            if target is None:
+                raise ParameterError(
+                    f"cannot infer the type of parameter "
+                    f"{self._param_label(param.index)} from another untyped "
+                    f"parameter")
+            self._set_parameter_type(param, target)
+            return
+        if target is None or current is target:
+            return
+        if param.index in self._param_provisional:
+            if current is SQLType.INT64 and target is SQLType.FLOAT64:
+                self._set_parameter_type(param, SQLType.FLOAT64)
+                return
+            if current is SQLType.STRING and target is SQLType.DATE:
+                self._set_parameter_type(param, SQLType.DATE)
+                return
+        # A definite type meeting a different context: numeric/date/bool
+        # combinations are left to the regular coercion rules (they have
+        # well-defined literal semantics); anything else is a conflicting
+        # use of one parameter slot.
+        coercible = {SQLType.INT64, SQLType.FLOAT64, SQLType.DATE,
+                     SQLType.BOOL}
+        if current not in coercible or target not in coercible:
+            raise ParameterError(
+                f"parameter {self._param_label(param.index)} is used both "
+                f"as {current} and as {target}")
+
+    def _require_parameter_type(self, expr: TypedExpression,
+                                context: str) -> None:
+        if isinstance(expr, ParameterExpr) and expr.result_type is None:
+            raise ParameterError(
+                f"cannot infer the type of parameter "
+                f"{self._param_label(expr.index)} in {context}")
+
+    def _finalize_parameters(self) -> list[ParameterSpec]:
+        specs: list[ParameterSpec] = []
+        for index in range(len(self._param_names)):
+            sql_type = self._param_types.get(index)
+            if sql_type is None:
+                raise ParameterError(
+                    f"cannot infer the type of parameter "
+                    f"{self._param_label(index)}; use it in a typed context "
+                    f"(e.g. compared with a column)")
+            specs.append(ParameterSpec(index=index, sql_type=sql_type,
+                                       name=self._param_names[index]))
+            if self._param_hints is not None:
+                try:
+                    hint = encode_parameter(self._param_hints[index],
+                                            sql_type,
+                                            self._param_label(index))
+                except ParameterError:
+                    hint = None
+                for node in self._param_nodes.get(index, []):
+                    node.hint = hint
+        return specs
 
     # ------------------------------------------------------------------ #
     # FROM clause
@@ -236,6 +372,8 @@ class Binder:
     # expressions
     # ------------------------------------------------------------------ #
     def _require_bool(self, expr: TypedExpression, context: str) -> None:
+        if isinstance(expr, ParameterExpr) and expr.result_type is None:
+            self._set_parameter_type(expr, SQLType.BOOL)
         if expr.result_type is not SQLType.BOOL:
             raise BindError(f"{context} must be a boolean expression")
 
@@ -243,6 +381,8 @@ class Binder:
                          scope: "_Scope") -> TypedExpression:
         if isinstance(node, ast.Literal):
             return _bind_literal(node)
+        if isinstance(node, ast.Parameter):
+            return self._bind_parameter(node)
         if isinstance(node, ast.ColumnRef):
             return scope.resolve(node)
         if isinstance(node, ast.UnaryOp):
@@ -251,17 +391,29 @@ class Binder:
             return self._bind_binary(node, scope)
         if isinstance(node, ast.Between):
             expr = self._bind_expression(node.expr, scope)
-            low = self._coerce(self._bind_expression(node.low, scope), expr)
-            high = self._coerce(self._bind_expression(node.high, scope), expr)
+            low = self._bind_expression(node.low, scope)
+            high = self._bind_expression(node.high, scope)
+            if isinstance(expr, ParameterExpr) and expr.result_type is None:
+                reference = low if low.result_type is not None else high
+                self._infer_parameter_from(expr, reference.result_type)
+            low = self._coerce(low, expr)
+            high = self._coerce(high, expr)
             return BetweenExpr(expr=expr, low=low, high=high,
                                negated=node.negated)
         if isinstance(node, ast.InList):
             expr = self._bind_expression(node.expr, scope)
-            values = [self._coerce(self._bind_expression(v, scope), expr)
-                      for v in node.values]
+            values = [self._bind_expression(v, scope) for v in node.values]
+            if isinstance(expr, ParameterExpr) and expr.result_type is None:
+                for value in values:
+                    if value.result_type is not None:
+                        self._infer_parameter_from(expr, value.result_type)
+                        break
+            values = [self._coerce(v, expr) for v in values]
             return InListExpr(expr=expr, values=values, negated=node.negated)
         if isinstance(node, ast.Like):
             expr = self._bind_expression(node.expr, scope)
+            if isinstance(expr, ParameterExpr) and expr.result_type is None:
+                self._set_parameter_type(expr, SQLType.STRING)
             if expr.result_type is not SQLType.STRING:
                 raise BindError("LIKE requires a string operand")
             return LikeExpr(expr=expr, pattern=node.pattern,
@@ -274,6 +426,9 @@ class Binder:
             return self._bind_cast(node, scope)
         if isinstance(node, ast.Extract):
             operand = self._bind_expression(node.expr, scope)
+            if isinstance(operand, ParameterExpr) \
+                    and operand.result_type is None:
+                self._set_parameter_type(operand, SQLType.DATE)
             if operand.result_type is not SQLType.DATE:
                 raise BindError("EXTRACT requires a DATE operand")
             return ExtractExpr(field_name=node.field, operand=operand)
@@ -292,6 +447,7 @@ class Binder:
             operand = self._bind_expression(node.operand, scope)
             if isinstance(operand, LiteralExpr):
                 return LiteralExpr(-operand.value, operand.result_type)
+            self._require_parameter_type(operand, "unary minus")
             zero = LiteralExpr(0.0 if operand.result_type is SQLType.FLOAT64
                                else 0, operand.result_type)
             return ArithmeticExpr("-", zero, operand, operand.result_type)
@@ -352,6 +508,7 @@ class Binder:
             if len(node.args) != 1:
                 raise BindError(f"aggregate {name} takes exactly one argument")
             argument = self._bind_expression(node.args[0], scope)
+            self._require_parameter_type(argument, f"aggregate {name}()")
             if name == "count":
                 result_type = SQLType.INT64
             elif name == "avg":
@@ -369,6 +526,9 @@ class Binder:
             if len(node.args) != 1:
                 raise BindError("year() takes exactly one argument")
             operand = self._bind_expression(node.args[0], scope)
+            if isinstance(operand, ParameterExpr) \
+                    and operand.result_type is None:
+                self._set_parameter_type(operand, SQLType.DATE)
             if operand.result_type is not SQLType.DATE:
                 raise BindError("year() requires a DATE argument")
             return ExtractExpr(field_name="year", operand=operand)
@@ -385,6 +545,11 @@ class Binder:
             result_type = result_type or bound_value.result_type
         default = (self._bind_expression(node.default, scope)
                    if node.default is not None else None)
+        if result_type is None and default is not None:
+            result_type = default.result_type
+        if result_type is None:
+            raise ParameterError(
+                "cannot infer the CASE result type from parameters alone")
         if default is None:
             default = LiteralExpr(
                 0.0 if result_type is SQLType.FLOAT64 else 0, result_type)
@@ -393,6 +558,9 @@ class Binder:
         for _, value in branches + [(None, default)]:
             if value.result_type is SQLType.FLOAT64:
                 target = SQLType.FLOAT64
+        for _, value in branches + [(None, default)]:
+            if isinstance(value, ParameterExpr):
+                self._infer_parameter_from(value, target)
         branches = [(c, self._cast_to(v, target)) for c, v in branches]
         default = self._cast_to(default, target)
         return CaseExpr(branches=branches, default=default, result_type=target)
@@ -405,6 +573,8 @@ class Binder:
                   "decimal": SQLType.FLOAT64}.get(node.type_name.lower())
         if target is None:
             raise BindError(f"unsupported CAST target {node.type_name!r}")
+        if isinstance(operand, ParameterExpr) and operand.result_type is None:
+            self._set_parameter_type(operand, target)
         return self._cast_to(operand, target)
 
     # ------------------------------------------------------------------ #
@@ -425,6 +595,8 @@ class Binder:
                 reference: TypedExpression) -> TypedExpression:
         """Coerce ``value`` (usually a literal) to ``reference``'s type."""
         target = reference.result_type
+        if isinstance(value, ParameterExpr):
+            self._infer_parameter_from(value, target)
         if value.result_type is target:
             return value
         if isinstance(value, LiteralExpr):
@@ -442,6 +614,24 @@ class Binder:
 
     def _coerce_pair(self, left: TypedExpression, right: TypedExpression
                      ) -> tuple[TypedExpression, TypedExpression]:
+        left_param = isinstance(left, ParameterExpr)
+        right_param = isinstance(right, ParameterExpr)
+        if left_param and right_param:
+            if left.result_type is None and right.result_type is None:
+                raise ParameterError(
+                    f"cannot infer the types of parameters "
+                    f"{self._param_label(left.index)} and "
+                    f"{self._param_label(right.index)} combined with each "
+                    f"other")
+            if left.result_type is None:
+                self._infer_parameter_from(left, right.result_type)
+            else:
+                self._infer_parameter_from(right, left.result_type)
+        elif left_param:
+            self._infer_parameter_from(left, right.result_type)
+        elif right_param:
+            self._infer_parameter_from(right, left.result_type)
+
         lt, rt = left.result_type, right.result_type
         if lt is rt:
             return left, right
@@ -504,6 +694,19 @@ class _Scope:
             names = ", ".join(binding.name for binding in matches)
             raise BindError(f"column {ref.name!r} is ambiguous ({names})")
         return self.column(matches[0].name, ref.name)
+
+
+def _natural_hint_type(value) -> Optional[SQLType]:
+    """The SQL type a raw auto-parameterization hint value naturally has."""
+    if isinstance(value, bool):
+        return SQLType.BOOL
+    if isinstance(value, int):
+        return SQLType.INT64
+    if isinstance(value, float):
+        return SQLType.FLOAT64
+    if isinstance(value, str):
+        return SQLType.STRING
+    return None
 
 
 def _bind_literal(node: ast.Literal) -> LiteralExpr:

@@ -76,6 +76,27 @@ class LiteralExpr(TypedExpression):
 
 
 @dataclass
+class ParameterExpr(TypedExpression):
+    """A bind parameter (``?`` or ``:name``), evaluated from the params vector.
+
+    ``result_type`` is inferred by the binder from the parameter's context
+    (``None`` only while binding is still in progress).  ``hint`` optionally
+    carries the *encoded* literal value the parameter replaced during
+    auto-parameterization; it is used exclusively by cardinality estimation,
+    never by execution, and is deliberately not part of the structural key so
+    one cached plan serves every binding of the same query shape.
+    """
+
+    index: int
+    name: Optional[str] = None
+    result_type: Optional[SQLType] = None  # type: ignore[assignment]
+    hint: object = None
+
+    def key(self) -> tuple:
+        return ("param", self.index)
+
+
+@dataclass
 class ArithmeticExpr(TypedExpression):
     """``left <op> right`` with op in ``+ - * / %``."""
 

@@ -27,6 +27,19 @@ class Literal(Expression):
 
 
 @dataclass
+class Parameter(Expression):
+    """A bind-parameter placeholder (``?`` positional or ``:name`` named).
+
+    ``index`` is the parameter's slot in the statement's parameter vector:
+    positional parameters get one slot per ``?`` in lexical order, named
+    parameters get one slot per distinct name (first-occurrence order).
+    """
+
+    index: int
+    name: Optional[str] = None
+
+
+@dataclass
 class ColumnRef(Expression):
     """A possibly qualified column reference (``alias.column`` or ``column``)."""
 
@@ -178,3 +191,6 @@ class SelectStatement:
     order_by: list[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
     distinct: bool = False
+    #: Parameter slot -> name (``None`` for positional slots).  One entry per
+    #: distinct parameter of the statement, in slot order.
+    parameters: list[Optional[str]] = field(default_factory=list)

@@ -22,6 +22,9 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCTUATION = "punctuation"
+    #: A bind-parameter placeholder: ``?`` (value ``""``) or ``:name``
+    #: (value is the lower-cased name).
+    PARAMETER = "parameter"
     END = "end"
 
 
@@ -86,6 +89,12 @@ class Lexer:
             return self._scan_string()
         if ch.isalpha() or ch == "_":
             return self._scan_word()
+        if ch == "?":
+            token = self._token(TokenType.PARAMETER, "")
+            self._advance(1)
+            return token
+        if ch == ":" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+            return self._scan_named_parameter()
         for operator in _OPERATORS:
             if self.text.startswith(operator, self.position):
                 token = self._token(TokenType.OPERATOR, operator)
@@ -174,6 +183,20 @@ class Lexer:
             parts.append(ch)
             self._advance(1)
         return Token(TokenType.STRING, "".join(parts), start_token.position,
+                     start_token.line, start_token.column)
+
+    def _scan_named_parameter(self) -> Token:
+        start_token = self._token(TokenType.PARAMETER, "")
+        self._advance(1)  # the colon
+        start = self.position
+        while self.position < len(self.text):
+            ch = self.text[self.position]
+            if ch.isalnum() or ch == "_":
+                self._advance(1)
+            else:
+                break
+        name = self.text[start:self.position].lower()
+        return Token(TokenType.PARAMETER, name, start_token.position,
                      start_token.line, start_token.column)
 
     def _scan_word(self) -> Token:

@@ -16,6 +16,10 @@ class Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.index = 0
+        #: Parameter slot -> name (None for positional ``?`` slots).
+        self.parameters: list[Optional[str]] = []
+        self._named_slots: dict[str, int] = {}
+        self._has_positional = False
 
     # ------------------------------------------------------------------ #
     # token helpers
@@ -139,6 +143,7 @@ class Parser:
             order_by=order_by,
             limit=limit,
             distinct=distinct,
+            parameters=self.parameters,
         )
 
     def _parse_select_list(self) -> list[ast.SelectItem]:
@@ -305,6 +310,10 @@ class Parser:
     def _parse_primary(self) -> ast.Expression:
         token = self.current
 
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return self._make_parameter(token.value)
+
         if token.type is TokenType.INTEGER:
             self._advance()
             return ast.Literal(int(token.value), "int")
@@ -380,6 +389,26 @@ class Parser:
             return expr
 
         raise self._error("expected an expression")
+
+    def _make_parameter(self, name: str) -> ast.Parameter:
+        """Allocate (or reuse, for named parameters) a parameter slot."""
+        if name == "":
+            if self._named_slots:
+                raise self._error(
+                    "cannot mix positional (?) and named (:name) parameters")
+            self._has_positional = True
+            index = len(self.parameters)
+            self.parameters.append(None)
+            return ast.Parameter(index=index)
+        if self._has_positional:
+            raise self._error(
+                "cannot mix positional (?) and named (:name) parameters")
+        index = self._named_slots.get(name)
+        if index is None:
+            index = len(self.parameters)
+            self._named_slots[name] = index
+            self.parameters.append(name)
+        return ast.Parameter(index=index, name=name)
 
     def _parse_identifier_expression(self) -> ast.Expression:
         name = self._expect_identifier()
