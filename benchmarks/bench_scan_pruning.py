@@ -1,0 +1,183 @@
+"""Zone-map scan pruning: selective predicates skip whole storage chunks.
+
+Chunked columnar storage gives every sealed chunk an exact min/max zone
+map; a sargable filter over a *clustered* column (values correlated with
+insertion order -- timestamps, auto-increment keys) therefore lets the scan
+drop almost every chunk before any execution tier touches a row.  This is
+storage-level acceleration: the same pruning serves the compiled tiers, the
+bytecode VM, the adaptive executor and both interpretation baselines, with
+no per-tier changes.
+
+The benchmark runs one selective range predicate (matching < 5% of the
+chunks) over a clustered column, pruned vs. ``use_pruning=False``, and
+reports per-tier execution-time speedups plus the pruned-chunk fraction.
+
+Acceptance (asserted below): >= 3x execution speedup on the interpreted
+and compiled tiers, and > 80% of chunks pruned.
+
+Run as a script (CI smoke, tiny scale): ``python benchmarks/bench_scan_pruning.py``
+Run under pytest for the benchmark fixture: ``pytest benchmarks/bench_scan_pruning.py``
+Environment: ``REPRO_BENCH_TINY=1`` shrinks the table, ``REPRO_BENCH_FULL=1`` grows it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for _path in (os.path.join(os.path.dirname(_HERE), "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro import Database, SQLType  # noqa: E402
+from repro.options import ExecOptions  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+CHUNK_ROWS = 1024
+ROWS = 64 * CHUNK_ROWS if TINY else (512 * CHUNK_ROWS if FULL
+                                     else 128 * CHUNK_ROWS)
+#: The selective window: two chunks' worth of a clustered column, i.e.
+#: ~1.6-3% of the chunks -- comfortably under the "< 5% of chunks" regime.
+WINDOW = 2 * CHUNK_ROWS
+REPEATS = 3
+
+SQL = ("select count(*) as n, sum(v) as s from events "
+       "where ts between ? and ?")
+#: Tiers measured: the interpreted VM, the optimizing compiler backend and
+#: the column-at-a-time baseline.  (All seven modes share the same scan
+#: planner; correctness across all of them is covered by the test suite.)
+MEASURED_MODES = ("bytecode", "optimized", "vectorized")
+#: Modes the >= 3x acceptance is asserted on.  The vectorized baseline's
+#: full scan is a handful of numpy kernels, so its (reported) gain is
+#: real but smaller and noisier at CI scale.
+ASSERTED_MODES = ("bytecode", "optimized")
+
+
+def build_database() -> Database:
+    db = Database(morsel_size=4096)
+    db.catalog.create_table("events", [("ts", SQLType.INT64),
+                                       ("v", SQLType.FLOAT64)],
+                            chunk_rows=CHUNK_ROWS)
+    # Clustered: ts follows insertion order (a timestamp/sequence column).
+    db.insert("events", [(i, float(i % 1000) * 0.25) for i in range(ROWS)],
+              encode=False)
+    return db
+
+
+def _window():
+    begin = (ROWS // 2 // CHUNK_ROWS) * CHUNK_ROWS  # chunk-aligned middle
+    return begin, begin + WINDOW - 1
+
+
+def measure_mode(db: Database, mode: str) -> dict:
+    """Execution seconds (pruned / unpruned) + pruning counters for a tier."""
+    begin, end = _window()
+    pruned_opts = ExecOptions(mode=mode)
+    unpruned_opts = ExecOptions(mode=mode, use_pruning=False)
+
+    def run(options):
+        return db.execute(SQL, options=options, params=(begin, end))
+
+    # Warm both paths: tier compilation and the plan-cache entry are paid
+    # here, so the timed loop measures scanning, not preparation.
+    reference = run(pruned_opts)
+    full = run(unpruned_opts)
+    assert reference.rows == full.rows
+
+    pruned_seconds = 0.0
+    unpruned_seconds = 0.0
+    for _ in range(REPEATS):
+        result = run(pruned_opts)
+        pruned_seconds += result.timings.execution
+        result_full = run(unpruned_opts)
+        unpruned_seconds += result_full.timings.execution
+
+    stats = reference.stats
+    chunks_total = stats["chunks_pruned"] + stats["chunks_scanned"]
+    return {
+        "mode": mode,
+        "pruned_seconds": pruned_seconds / REPEATS,
+        "unpruned_seconds": unpruned_seconds / REPEATS,
+        "speedup": unpruned_seconds / max(pruned_seconds, 1e-12),
+        "chunks_pruned": stats["chunks_pruned"],
+        "chunks_total": chunks_total,
+        "pruned_fraction": stats["chunks_pruned"] / max(chunks_total, 1),
+        "rows": reference.rows,
+    }
+
+
+def run_benchmark(report=print) -> dict:
+    from conftest import fmt_ms, print_table
+
+    db = build_database()
+    try:
+        results = [measure_mode(db, mode) for mode in MEASURED_MODES]
+        begin, end = _window()
+        fraction = results[0]["pruned_fraction"]
+        print_table(
+            f"Selective scan over a clustered column "
+            f"({ROWS} rows, {CHUNK_ROWS}-row chunks, "
+            f"ts BETWEEN {begin} AND {end})",
+            ["tier", "unpruned ms", "pruned ms", "speedup", "chunks pruned"],
+            [[r["mode"], fmt_ms(r["unpruned_seconds"]),
+              fmt_ms(r["pruned_seconds"]), f"{r['speedup']:.1f}x",
+              f"{r['chunks_pruned']}/{r['chunks_total']} "
+              f"({r['pruned_fraction']:.0%})"]
+             for r in results])
+        report(f"window matches {WINDOW} rows "
+               f"({WINDOW / ROWS:.1%} of the table); "
+               f"{fraction:.0%} of chunks pruned")
+        return {r["mode"]: r for r in results}
+    finally:
+        db.close()
+
+
+def _acceptance(metrics) -> bool:
+    return all(metrics[mode]["speedup"] >= 3.0
+               and metrics[mode]["pruned_fraction"] > 0.8
+               for mode in ASSERTED_MODES)
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+def test_pruning_speedup_and_fraction():
+    metrics = run_benchmark()
+    for mode in ASSERTED_MODES:
+        assert metrics[mode]["speedup"] >= 3.0, metrics[mode]
+        assert metrics[mode]["pruned_fraction"] > 0.8, metrics[mode]
+    # Identical results in every measured mode, pruned or not.
+    rows = {str(metrics[mode]["rows"]) for mode in MEASURED_MODES}
+    assert len(rows) == 1, rows
+
+
+def test_pruned_scan_latency(benchmark):
+    db = build_database()
+    try:
+        begin, end = _window()
+        options = ExecOptions(mode="optimized")
+        db.execute(SQL, options=options, params=(begin, end))  # warm
+
+        def scan():
+            return db.execute(SQL, options=options, params=(begin, end))
+
+        result = benchmark(scan)
+        assert result.stats["chunks_pruned"] > 0
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":
+    metrics = run_benchmark()
+    ok = _acceptance(metrics)
+    worst = min(metrics[mode]["speedup"] for mode in ASSERTED_MODES)
+    fraction = min(metrics[mode]["pruned_fraction"]
+                   for mode in ASSERTED_MODES)
+    print(f"\nspeedup {worst:.1f}x (>= 3x required), "
+          f"chunks pruned {fraction:.0%} (> 80% required) -- "
+          f"{'PASS' if ok else 'FAIL'}")
+    sys.exit(0 if ok else 1)

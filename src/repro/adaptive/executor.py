@@ -42,6 +42,7 @@ from ..codegen import GeneratedPipeline, GeneratedQuery
 from ..engine import PhaseTimings, PipelineExecution, QueryResult
 from ..errors import AdaptiveError
 from ..optimizer import PlanningResult
+from ..plan.sargs import plan_pipeline_scan
 from .modes import ExecutionMode, FunctionHandle
 from .morsel import MorselDispatcher
 from .policy import AdaptivePolicy, Decision
@@ -75,10 +76,12 @@ class AdaptiveExecutor:
                  collect_trace: bool = False,
                  cost_model: Optional[CostModel] = None,
                  policy: Optional[AdaptivePolicy] = None,
-                 handles: Optional[dict[int, FunctionHandle]] = None):
+                 handles: Optional[dict[int, FunctionHandle]] = None,
+                 use_pruning: bool = True):
         self.database = database
         self.num_threads = max(num_threads, 1)
         self.collect_trace = collect_trace
+        self.use_pruning = use_pruning
         self.cost_model = cost_model or default_cost_model()
         self.policy = policy or AdaptivePolicy(self.cost_model)
         #: Optional shared ``pipeline index -> FunctionHandle`` map.  A
@@ -108,7 +111,13 @@ class AdaptiveExecutor:
                       generated: GeneratedQuery, trace: ExecutionTrace,
                       query_start: float,
                       timings: PhaseTimings) -> PipelineExecution:
-        rows = generated.state.source_row_count(pipeline.pipeline)
+        total_rows = generated.state.source_row_count(pipeline.pipeline)
+        scan = plan_pipeline_scan(pipeline.pipeline, total_rows,
+                                  generated.state.params,
+                                  use_pruning=self.use_pruning)
+        timings.chunks_pruned += scan.chunks_pruned
+        timings.chunks_scanned += scan.chunks_scanned
+        rows = scan.rows_to_scan
         handle = self.handles.get(index) if self.handles is not None else None
         if handle is None:
             handle = FunctionHandle(pipeline.function, vm=self.database._vm)
@@ -118,9 +127,10 @@ class AdaptiveExecutor:
 
         progress = PipelineProgress(rows, self.num_threads)
         dispatcher = MorselDispatcher(
-            rows, morsel_size=self.database.morsel_size,
+            morsel_size=self.database.morsel_size,
             initial_size=min(INITIAL_MORSEL_SIZE,
-                             self.database.morsel_size))
+                             self.database.morsel_size),
+            ranges=scan.ranges)
         # ``threads=N`` is a cap on this query's pool share, not a spawn
         # count: no more than pool size + 1 (the driving thread) workers can
         # actually run morsels, and the Fig. 7 extrapolation must not assume
@@ -245,13 +255,15 @@ class StaticParallelExecutor:
 
     def __init__(self, database, mode: str, num_threads: int = 1,
                  collect_trace: bool = False,
-                 tiers: Optional[dict] = None):
+                 tiers: Optional[dict] = None,
+                 use_pruning: bool = True):
         if mode not in ("bytecode", "unoptimized", "optimized", "ir-interp"):
             raise AdaptiveError(f"unsupported static tier {mode!r}")
         self.database = database
         self.mode = mode
         self.num_threads = max(num_threads, 1)
         self.collect_trace = collect_trace
+        self.use_pruning = use_pruning
         #: Optional shared ``(pipeline index, mode) -> executable`` tier
         #: cache, provided by a prepared query (see engine._tier_for).
         self.tiers = tiers
@@ -272,9 +284,15 @@ class StaticParallelExecutor:
             executables.append(executable)
 
         for pipeline, executable in zip(generated.pipelines, executables):
-            rows = generated.state.source_row_count(pipeline.pipeline)
-            dispatcher = MorselDispatcher(rows,
-                                          morsel_size=self.database.morsel_size)
+            total_rows = generated.state.source_row_count(pipeline.pipeline)
+            scan = plan_pipeline_scan(pipeline.pipeline, total_rows,
+                                      generated.state.params,
+                                      use_pruning=self.use_pruning)
+            timings.chunks_pruned += scan.chunks_pruned
+            timings.chunks_scanned += scan.chunks_scanned
+            rows = scan.rows_to_scan
+            dispatcher = MorselDispatcher(morsel_size=self.database.morsel_size,
+                                          ranges=scan.ranges)
             pipeline_start = time.perf_counter()
 
             def run_morsel(slot: int, morsel, executable=executable,

@@ -8,13 +8,20 @@ has the same load-balancing effect for our purposes).  The dispatcher also
 supports the dynamically growing morsel size the paper mentions: early
 morsels are small so the adaptive policy gets sample points quickly, later
 morsels grow to the full size to amortise dispatch overhead.
+
+With chunked columnar storage the dispatcher walks a list of surviving
+``[begin, end)`` *ranges* instead of one contiguous span: zone-map pruning
+(:mod:`repro.plan.sargs`) drops whole storage chunks up front.  Range edges
+are chunk boundaries and morsels never cross a range edge, so a pruned
+chunk is never even partially dispatched; adjacent surviving chunks are
+coalesced, keeping morsel sizing unaffected by the chunk granularity.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -30,19 +37,32 @@ class Morsel:
 
 
 class MorselDispatcher:
-    """Thread-safe dispenser of morsels over ``[0, total_rows)``."""
+    """Thread-safe dispenser of morsels over a set of row ranges.
 
-    def __init__(self, total_rows: int, morsel_size: int = 10_000,
-                 initial_size: Optional[int] = None, growth_factor: int = 2):
+    ``MorselDispatcher(total_rows)`` dispenses over ``[0, total_rows)``;
+    ``MorselDispatcher(ranges=...)`` dispenses over the given disjoint,
+    ascending ``[begin, end)`` ranges (the zone-map scan-pruning path --
+    morsels never cross a range edge, so pruned chunks stay undispatched).
+    """
+
+    def __init__(self, total_rows: int = 0, morsel_size: int = 10_000,
+                 initial_size: Optional[int] = None, growth_factor: int = 2,
+                 ranges: Optional[Sequence[tuple[int, int]]] = None):
         if morsel_size <= 0:
             raise ValueError("morsel size must be positive")
-        self.total_rows = total_rows
+        if ranges is None:
+            ranges = ((0, total_rows),) if total_rows > 0 else ()
+        self._ranges = [(begin, end) for begin, end in ranges if end > begin]
+        #: Rows this dispatcher will hand out (after pruning).
+        self.total_rows = sum(end - begin for begin, end in self._ranges)
         self.max_size = morsel_size
         self.growth_factor = max(growth_factor, 1)
         self._current_size = min(initial_size or morsel_size, morsel_size)
         if self._current_size <= 0:
             self._current_size = morsel_size
-        self._next_row = 0
+        self._range_index = 0
+        self._next_row = self._ranges[0][0] if self._ranges else 0
+        self._remaining = self.total_rows
         self._lock = threading.Lock()
         self.dispatched = 0
 
@@ -50,12 +70,18 @@ class MorselDispatcher:
     def next_morsel(self) -> Optional[Morsel]:
         """Grab the next morsel, or None when the input is exhausted."""
         with self._lock:
-            if self._next_row >= self.total_rows:
+            if self._range_index >= len(self._ranges):
                 return None
+            range_end = self._ranges[self._range_index][1]
             begin = self._next_row
-            size = self._current_size
-            end = min(begin + size, self.total_rows)
-            self._next_row = end
+            end = min(begin + self._current_size, range_end)
+            self._remaining -= end - begin
+            if end >= range_end:
+                self._range_index += 1
+                if self._range_index < len(self._ranges):
+                    self._next_row = self._ranges[self._range_index][0]
+            else:
+                self._next_row = end
             self.dispatched += 1
             # Grow the morsel size (paper: "dynamically growing morsel size").
             if self._current_size < self.max_size:
@@ -66,7 +92,7 @@ class MorselDispatcher:
     @property
     def remaining_rows(self) -> int:
         with self._lock:
-            return max(self.total_rows - self._next_row, 0)
+            return self._remaining
 
     @property
     def exhausted(self) -> bool:

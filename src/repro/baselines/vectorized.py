@@ -25,6 +25,7 @@ from ..plan.physical import (
     PhysicalPlan,
     TableSource,
 )
+from ..plan.sargs import plan_pipeline_scan
 from ..types import SQLType
 from .expr_eval import evaluate_expression_vectorized
 from .volcano import _finish_output
@@ -33,8 +34,12 @@ from .volcano import _finish_output
 class VectorizedEngine:
     """Column-at-a-time execution of pipeline plans."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, use_pruning: bool = True):
         self.catalog = catalog
+        self.use_pruning = use_pruning
+        #: Zone-map pruning counters of the last execution.
+        self.chunks_pruned = 0
+        self.chunks_scanned = 0
         #: Bind-parameter values of the current execution (encoded).
         self._params: tuple = ()
 
@@ -96,9 +101,28 @@ class VectorizedEngine:
         if isinstance(source, TableSource):
             table = source.table
             binding = source.binding
-            columns = {(binding, name): table.numpy_column(name)
-                       for name in table.schema.column_names()}
-            return columns, table.num_rows
+            names = table.schema.column_names()
+            scan = plan_pipeline_scan(pipeline, table.snapshot_rows(),
+                                      self._params,
+                                      use_pruning=self.use_pruning)
+            self.chunks_pruned += scan.chunks_pruned
+            self.chunks_scanned += scan.chunks_scanned
+            if scan.chunks_pruned == 0:
+                # Full scan: use the consistent whole-column snapshot (all
+                # columns sliced to one row count, cached per chunk).
+                arrays, rows = table.numpy_snapshot(names)
+                # The scan plan snapshotted the row count first; clamp to it
+                # so the pruned/unpruned paths agree under concurrent
+                # inserts.
+                if rows > scan.rows_total:
+                    arrays = {name: array[:scan.rows_total]
+                              for name, array in arrays.items()}
+                columns = {(binding, name): arrays[name] for name in names}
+                return columns, scan.rows_total
+            columns = {
+                (binding, name): table.numpy_ranges(name, scan.ranges)
+                for name in names}
+            return columns, scan.rows_to_scan
         assert isinstance(source, IntermediateSource)
         stored = intermediates.get(source.binding)
         if stored is None:

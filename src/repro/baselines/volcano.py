@@ -25,6 +25,7 @@ from ..plan.physical import (
     PhysicalPlan,
     TableSource,
 )
+from ..plan.sargs import plan_pipeline_scan
 from ..types import SQLType
 from .expr_eval import evaluate_expression
 
@@ -32,8 +33,12 @@ from .expr_eval import evaluate_expression
 class VolcanoEngine:
     """Tuple-at-a-time interpretation of pipeline plans."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, use_pruning: bool = True):
         self.catalog = catalog
+        self.use_pruning = use_pruning
+        #: Zone-map pruning counters of the last execution.
+        self.chunks_pruned = 0
+        self.chunks_scanned = 0
         #: Bind-parameter values of the current execution (encoded).
         self._params: tuple = ()
 
@@ -74,9 +79,15 @@ class VolcanoEngine:
             names = table.schema.column_names()
             columns = [table.column_data(name) for name in names]
             keys = [(binding, name) for name in names]
-            for index in range(table.num_rows):
-                yield {key: column[index]
-                       for key, column in zip(keys, columns)}
+            scan = plan_pipeline_scan(pipeline, table.snapshot_rows(),
+                                      self._params,
+                                      use_pruning=self.use_pruning)
+            self.chunks_pruned += scan.chunks_pruned
+            self.chunks_scanned += scan.chunks_scanned
+            for begin, end in scan.ranges:
+                for index in range(begin, end):
+                    yield {key: column[index]
+                           for key, column in zip(keys, columns)}
             return
         assert isinstance(source, IntermediateSource)
         for row in intermediates.get(source.binding, []):

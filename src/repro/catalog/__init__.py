@@ -1,11 +1,11 @@
 """Catalog and columnar storage."""
 
 from .schema import Column, TableSchema
-from .table import Table
+from .table import ColumnView, Table, DEFAULT_CHUNK_ROWS
 from .catalog import Catalog
 from .statistics import ColumnStatistics, TableStatistics
 
 __all__ = [
-    "Column", "TableSchema", "Table", "Catalog",
-    "ColumnStatistics", "TableStatistics",
+    "Column", "TableSchema", "Table", "ColumnView", "DEFAULT_CHUNK_ROWS",
+    "Catalog", "ColumnStatistics", "TableStatistics",
 ]

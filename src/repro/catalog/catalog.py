@@ -47,27 +47,41 @@ class Catalog:
     # DDL
     # ------------------------------------------------------------------ #
     def create_table(self, name: str,
-                     columns: Sequence[tuple[str, SQLType]]) -> Table:
+                     columns: Sequence[tuple[str, SQLType]],
+                     chunk_rows: Optional[int] = None) -> Table:
         key = name.lower()
         if key in self._tables:
             raise CatalogError(f"table {name!r} already exists")
-        table = Table(TableSchema.of(name, columns))
-        self._tables[key] = table
-        self._bump_version(key)
-        return table
+        if chunk_rows is None:
+            table = Table(TableSchema.of(name, columns))
+        else:
+            table = Table(TableSchema.of(name, columns),
+                          chunk_rows=chunk_rows)
+        return self.register_table(table)
 
     def register_table(self, table: Table) -> Table:
         key = table.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[key] = table
+        # Every data mutation of the table (row inserts *and* bulk column
+        # appends) must invalidate its statistics and bump its version so
+        # cached plans drop out; routing the notification through the table
+        # itself means no mutation path can forget to do so.
+        table._on_change = lambda key=key: self._table_data_changed(key)
         self._bump_version(key)
         return table
+
+    def _table_data_changed(self, key: str) -> None:
+        """A registered table's data changed: invalidate derived state."""
+        self._statistics.pop(key, None)
+        self._bump_version(key)
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
         if key not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
+        self._tables[key]._on_change = None
         del self._tables[key]
         self._statistics.pop(key, None)
         self._bump_version(key)

@@ -51,6 +51,7 @@ from .errors import ExecutionError, ReproError, SchedulerError
 from .options import ExecOptions
 from .optimizer import Planner, PlanningResult
 from .parameters import bind_parameter_values
+from .plan.sargs import plan_pipeline_scan
 from .scheduler import CompileExecutor, QueryScheduler, QueryTicket, \
     Session, WorkerPool
 from .semantics import Binder, BoundQuery
@@ -94,6 +95,10 @@ class PhaseTimings:
     #: which keeps its meaning of "time spent doing work"; end-to-end
     #: latency of a submitted query is ``queue + total``.
     queue: float = 0.0
+    #: Storage chunks skipped / scanned by zone-map pruning, summed over all
+    #: table-scan pipelines of the execution (not part of :attr:`total`).
+    chunks_pruned: int = 0
+    chunks_scanned: int = 0
 
     @property
     def planning(self) -> float:
@@ -138,6 +143,16 @@ class QueryResult:
     #: True when this execution reused a prepared/cached plan (the parse /
     #: bind / plan / codegen phases were skipped entirely).
     cached: bool = False
+
+    @property
+    def stats(self) -> dict:
+        """Execution statistics of this query (zone-map pruning counters)."""
+        return {
+            "mode": self.mode,
+            "cached": self.cached,
+            "chunks_pruned": self.timings.chunks_pruned,
+            "chunks_scanned": self.timings.chunks_scanned,
+        }
 
     def decoded_rows(self) -> list[tuple]:
         """Rows with DATE/BOOL columns decoded to Python objects."""
@@ -314,18 +329,13 @@ class Database:
         self.catalog.drop_table(name)
 
     def insert(self, table_name: str, rows, encode: bool = True) -> int:
+        # Version bumping / statistics invalidation happens inside the table
+        # itself (the catalog installs a change callback on registration),
+        # so every mutation path -- including a failed batch that appended a
+        # prefix of its rows, and bulk ``append_columns`` -- invalidates
+        # cached plans the same way.
         table = self.catalog.table(table_name)
-        try:
-            inserted = table.insert_rows(rows, encode=encode)
-        except BaseException:
-            # A failed batch may still have appended a prefix of its rows
-            # (insert_rows is atomic per row, not per batch); bump the table
-            # version regardless so cached plans and statistics can never
-            # survive a partial insert.  Spurious invalidation is harmless.
-            self.catalog.invalidate_statistics(table_name)
-            raise
-        self.catalog.invalidate_statistics(table_name)
-        return inserted
+        return table.insert_rows(rows, encode=encode)
 
     # ------------------------------------------------------------------ #
     # planning
@@ -460,7 +470,8 @@ class Database:
                                    use_cache=use_cache)
         self._validate_mode(sql, opts.mode, opts.threads, opts.collect_trace)
         if opts.mode in BASELINE_MODES:
-            return self._execute_baseline(sql, opts.mode, params)
+            return self._execute_baseline(sql, opts.mode, params,
+                                          use_pruning=opts.use_pruning)
 
         exec_sql, exec_params, hints = sql, params, None
         use_cache_now = opts.use_cache and self.plan_cache.capacity > 0
@@ -475,23 +486,20 @@ class Database:
 
         if use_cache_now:
             prepared = self.prepare_query(exec_sql, parameter_hints=hints)
-            result = prepared.execute_nowait(mode=opts.mode,
-                                             threads=opts.threads,
-                                             collect_trace=opts.collect_trace,
+            result = prepared.execute_nowait(options=opts,
                                              params=exec_params)
             if result is not None:
                 return result
             # The cached entry is mid-execution on another thread; run an
             # independent cold build instead of blocking on its state.
         prepared = self._build_prepared(exec_sql, parameter_hints=hints)
-        return prepared.execute(mode=opts.mode, threads=opts.threads,
-                                collect_trace=opts.collect_trace,
-                                params=exec_params)
+        return prepared.execute(options=opts, params=exec_params)
 
     # ------------------------------------------------------------------ #
     def _execute_static(self, generated: GeneratedQuery,
                         planning: PlanningResult, timings: PhaseTimings,
-                        mode: str, tiers: Optional[dict] = None) -> QueryResult:
+                        mode: str, tiers: Optional[dict] = None,
+                        use_pruning: bool = True) -> QueryResult:
         """Single-threaded execution with one statically chosen tier."""
         pipeline_stats: list[PipelineExecution] = []
         state = generated.state
@@ -501,13 +509,20 @@ class Database:
                                                          index, mode, tiers)
             timings.compile += compile_seconds
 
-            rows = state.source_row_count(pipeline.pipeline)
+            total_rows = state.source_row_count(pipeline.pipeline)
+            scan = plan_pipeline_scan(pipeline.pipeline, total_rows,
+                                      state.params, use_pruning=use_pruning)
+            timings.chunks_pruned += scan.chunks_pruned
+            timings.chunks_scanned += scan.chunks_scanned
+            rows = scan.rows_to_scan
             start = time.perf_counter()
             morsels = 0
-            for begin in range(0, rows, self.morsel_size):
-                end = min(begin + self.morsel_size, rows)
-                executable(None, begin, end)
-                morsels += 1
+            for range_begin, range_end in scan.ranges:
+                # Morsels stay within one chunk-aligned surviving range.
+                for begin in range(range_begin, range_end, self.morsel_size):
+                    end = min(begin + self.morsel_size, range_end)
+                    executable(None, begin, end)
+                    morsels += 1
             if pipeline.finish is not None:
                 pipeline.finish()
             elapsed = time.perf_counter() - start
@@ -583,16 +598,21 @@ class Database:
 
     # ------------------------------------------------------------------ #
     def _execute_baseline(self, sql: str, mode: str,
-                          params=None) -> QueryResult:
+                          params=None, use_pruning: bool = True
+                          ) -> QueryResult:
         from .baselines import VectorizedEngine, VolcanoEngine
 
         bound, planning, timings = self.prepare(sql)
         values = bind_parameter_values(bound.parameters, params)
-        engine = (VolcanoEngine(self.catalog) if mode == "volcano"
-                  else VectorizedEngine(self.catalog))
+        engine = (VolcanoEngine(self.catalog, use_pruning=use_pruning)
+                  if mode == "volcano"
+                  else VectorizedEngine(self.catalog,
+                                        use_pruning=use_pruning))
         start = time.perf_counter()
         rows = engine.execute(planning.physical, values)
         timings.execution = time.perf_counter() - start
+        timings.chunks_pruned = engine.chunks_pruned
+        timings.chunks_scanned = engine.chunks_scanned
         column_names = [name for name, _ in planning.physical.output_columns]
         column_types = [sql_type for _, sql_type
                         in planning.physical.output_columns]

@@ -45,6 +45,7 @@ from ..semantics.expressions import (
     referenced_bindings,
 )
 from ..types import SQLType
+from ..plan.sargs import extract_scan_predicates
 from ..plan.logical import (
     LogicalAggregate,
     LogicalDistinct,
@@ -276,7 +277,9 @@ class Planner:
                 operators=operators,
                 sink=sink,
                 estimated_rows=step.cardinality,
-                label=scan_label(step.binding.table_name)))
+                label=scan_label(step.binding.table_name),
+                scan_predicates=extract_scan_predicates(
+                    step.binding.name, step.filters)))
             probes.append(PhysHashProbe(
                 join_id=join_id,
                 probe_keys=[k[0] for k in step.keys],
@@ -304,6 +307,8 @@ class Planner:
                 "available; unsupported join shape")
 
         driver_source = new_table_source(driver)
+        driver_sargs = extract_scan_predicates(
+            driver.name, table_filters.get(driver.name, []))
         output_columns = [(c.name, c.expr.result_type) for c in query.output]
 
         if query.has_aggregation:
@@ -334,7 +339,8 @@ class Planner:
                                    aggregates=specs,
                                    intermediate=intermediate),
                 estimated_rows=cardinalities[driver.name],
-                label=scan_label(driver.table_name)))
+                label=scan_label(driver.table_name),
+                scan_predicates=driver_sargs))
 
             # Rewrite output / having / order-by over the intermediate.
             mapping: dict[tuple, ColumnExpr] = {}
@@ -377,7 +383,8 @@ class Planner:
                                 limit=query.limit,
                                 distinct=query.distinct),
                 estimated_rows=cardinalities[driver.name],
-                label=scan_label(driver.table_name)))
+                label=scan_label(driver.table_name),
+                scan_predicates=driver_sargs))
 
         return PhysicalPlan(pipelines=pipelines,
                             output_columns=output_columns,

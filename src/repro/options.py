@@ -37,6 +37,10 @@ class ExecOptions:
     collect_trace: bool = False
     use_cache: bool = True
     auto_parameterize: Optional[bool] = None
+    #: Zone-map chunk pruning for table scans.  ``False`` scans every chunk
+    #: (the escape hatch for measuring pruning and for debugging); results
+    #: are identical either way.
+    use_pruning: bool = True
 
     @classmethod
     def resolve(cls, options: Optional["ExecOptions"] = None,
@@ -94,3 +98,7 @@ class OptionsAccessors:
     @property
     def use_cache(self) -> bool:
         return self.options.use_cache
+
+    @property
+    def use_pruning(self) -> bool:
+        return self.options.use_pruning

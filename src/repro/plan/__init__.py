@@ -12,6 +12,15 @@ from .logical import (
     LogicalDistinct,
     explain,
 )
+from .sargs import (
+    SargConjunct,
+    SargOperand,
+    ScanPlan,
+    chunk_survives,
+    extract_scan_predicates,
+    plan_pipeline_scan,
+    plan_table_scan,
+)
 from .physical import (
     AggregateSpec,
     AggregateSink,
@@ -32,4 +41,6 @@ __all__ = [
     "AggregateSpec", "AggregateSink", "HashBuildSink", "OutputSink",
     "PhysFilter", "PhysHashProbe", "Pipeline", "PhysicalPlan",
     "TableSource", "IntermediateSource",
+    "SargConjunct", "SargOperand", "ScanPlan", "chunk_survives",
+    "extract_scan_predicates", "plan_pipeline_scan", "plan_table_scan",
 ]

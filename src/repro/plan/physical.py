@@ -144,6 +144,11 @@ class Pipeline:
     sink: Sink
     estimated_rows: float = 0.0
     label: str = ""
+    #: Sargable conjuncts of the filters pushed into this scan
+    #: (:class:`repro.plan.sargs.SargConjunct`); evaluated against per-chunk
+    #: zone maps at execution time to skip chunks.  Empty for intermediate
+    #: sources and for predicates with no sargable shape.
+    scan_predicates: list = field(default_factory=list)
 
     @property
     def name(self) -> str:

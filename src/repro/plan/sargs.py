@@ -1,0 +1,337 @@
+"""Sargable scan predicates: extraction and zone-map evaluation.
+
+At *plan* time, :func:`extract_scan_predicates` walks the filter conjuncts
+pushed into a table scan and keeps the ones of a sargable shape::
+
+    column <op> constant        (and the mirrored constant <op> column)
+    column BETWEEN low AND high (also NOT BETWEEN)
+    column IN (v1, v2, ...)     (also NOT IN)
+
+where the constant side is a literal *or a bind-parameter slot*.  The
+extracted :class:`SargConjunct` list is stored on the pipeline, so it is
+part of a cached plan; the constants of parameter slots are resolved at
+*execution* time against the current parameter vector, which is what lets
+one cached plan prune correctly for every binding.
+
+At execution time, :func:`chunk_survives` evaluates the conjuncts against a
+chunk's **exact** per-chunk zone maps (``(min, max)`` of the sealed chunk,
+see :meth:`repro.catalog.Table.zone_map`).  Zone maps bound the storage
+values; DECIMAL columns store scaled integers while predicates compare the
+decoded numeric value, so the bounds are decoded before the comparison.
+Sampled table statistics (:mod:`repro.catalog.statistics`) are *never*
+consulted here -- their min/max are approximate and would prune chunks that
+still contain matching rows.
+
+Everything is conservative: a conjunct whose zone map is unavailable (open
+tail chunk), whose shape was not extracted, or whose comparison raises is
+treated as "may match".  Pruning can only skip chunks that provably contain
+no qualifying row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..semantics.expressions import (
+    BetweenExpr,
+    CastExpr,
+    ColumnExpr,
+    ComparisonExpr,
+    InListExpr,
+    LiteralExpr,
+    ParameterExpr,
+    TypedExpression,
+    split_conjuncts,
+)
+from ..types import DECIMAL_SCALE, SQLType
+
+#: Factor decoding DECIMAL storage values.  Deliberately a *multiplication*
+#: by the reciprocal, because that is bit-for-bit what every execution tier
+#: computes (codegen emits ``fmul raw, 0.01``, the baselines evaluate
+#: ``raw * 0.01``) -- ``raw / 100`` differs in the last ulp for ~13% of
+#: values, which would mis-prune exact boundary predicates.
+_DECIMAL_DECODE = 1.0 / DECIMAL_SCALE
+
+#: Comparison operators with a mirrored counterpart (for ``const <op> col``).
+_MIRRORED = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class SargOperand:
+    """The constant side of a sargable conjunct: a literal or a parameter.
+
+    ``to_float`` marks a value that the predicate compares after an
+    int-to-float cast (``CAST(? AS FLOAT)`` and implicit int/float
+    coercions); the cast is monotonic, so applying it to the resolved value
+    keeps the zone-map comparison exact.
+    """
+
+    value: object = None
+    param_index: Optional[int] = None
+    to_float: bool = False
+
+    def resolve(self, params: Sequence):
+        value = (params[self.param_index] if self.param_index is not None
+                 else self.value)
+        return float(value) if self.to_float else value
+
+
+@dataclass(frozen=True)
+class SargConjunct:
+    """One sargable conjunct over a single scanned column."""
+
+    column: str
+    kind: str                         # "cmp" | "between" | "in"
+    operator: str = ""                # comparison operator for kind "cmp"
+    operands: tuple[SargOperand, ...] = ()
+    negated: bool = False             # NOT BETWEEN / NOT IN
+    #: The column stores DECIMAL scaled integers; zone bounds must be
+    #: decoded (/ DECIMAL_SCALE) before comparing against predicate values.
+    decimal_storage: bool = False
+    #: The predicate compares the column after an int->float cast.
+    column_to_float: bool = False
+
+
+# --------------------------------------------------------------------------- #
+# extraction (plan time)
+# --------------------------------------------------------------------------- #
+def _column_side(expr: TypedExpression, binding: str
+                 ) -> Optional[tuple[str, bool, bool]]:
+    """``(column, decimal_storage, column_to_float)`` when sargable."""
+    if isinstance(expr, ColumnExpr) and expr.binding == binding:
+        return (expr.column, expr.storage_type is SQLType.DECIMAL, False)
+    if isinstance(expr, CastExpr) and expr.result_type is SQLType.FLOAT64 \
+            and isinstance(expr.operand, ColumnExpr) \
+            and expr.operand.binding == binding \
+            and expr.operand.result_type is SQLType.INT64:
+        return (expr.operand.column, False, True)
+    return None
+
+
+def _value_side(expr: TypedExpression) -> Optional[SargOperand]:
+    if isinstance(expr, LiteralExpr):
+        return SargOperand(value=expr.value)
+    if isinstance(expr, ParameterExpr):
+        return SargOperand(param_index=expr.index)
+    if isinstance(expr, CastExpr) and expr.result_type is SQLType.FLOAT64:
+        inner = _value_side(expr.operand)
+        if inner is not None:
+            return SargOperand(value=inner.value,
+                               param_index=inner.param_index, to_float=True)
+    return None
+
+
+def _extract_one(conjunct: TypedExpression,
+                 binding: str) -> Optional[SargConjunct]:
+    if isinstance(conjunct, ComparisonExpr):
+        for left, right, operator in (
+                (conjunct.left, conjunct.right, conjunct.operator),
+                (conjunct.right, conjunct.left,
+                 _MIRRORED.get(conjunct.operator))):
+            if operator is None:
+                continue
+            column = _column_side(left, binding)
+            value = _value_side(right)
+            if column is not None and value is not None:
+                name, decimal_storage, to_float = column
+                return SargConjunct(column=name, kind="cmp",
+                                    operator=operator, operands=(value,),
+                                    decimal_storage=decimal_storage,
+                                    column_to_float=to_float)
+        return None
+    if isinstance(conjunct, BetweenExpr):
+        column = _column_side(conjunct.expr, binding)
+        low = _value_side(conjunct.low)
+        high = _value_side(conjunct.high)
+        if column is not None and low is not None and high is not None:
+            name, decimal_storage, to_float = column
+            return SargConjunct(column=name, kind="between",
+                                operands=(low, high),
+                                negated=conjunct.negated,
+                                decimal_storage=decimal_storage,
+                                column_to_float=to_float)
+        return None
+    if isinstance(conjunct, InListExpr):
+        column = _column_side(conjunct.expr, binding)
+        if column is None:
+            return None
+        values = []
+        for value_expr in conjunct.values:
+            value = _value_side(value_expr)
+            if value is None:
+                return None
+            values.append(value)
+        name, decimal_storage, to_float = column
+        return SargConjunct(column=name, kind="in", operands=tuple(values),
+                            negated=conjunct.negated,
+                            decimal_storage=decimal_storage,
+                            column_to_float=to_float)
+    return None
+
+
+def extract_scan_predicates(binding: str,
+                            predicates: Sequence[TypedExpression]
+                            ) -> list[SargConjunct]:
+    """Sargable conjuncts of the filters pushed into one table scan."""
+    out: list[SargConjunct] = []
+    for predicate in predicates:
+        for conjunct in split_conjuncts(predicate):
+            extracted = _extract_one(conjunct, binding)
+            if extracted is not None:
+                out.append(extracted)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# evaluation (execution time)
+# --------------------------------------------------------------------------- #
+def _may_match(conjunct: SargConjunct, zone_min, zone_max,
+               params: Sequence) -> bool:
+    # A NaN operand makes every zone comparison False (so e.g. NOT BETWEEN
+    # NaN AND NaN would wrongly prune everything); never prune on NaN.
+    if any(value != value for operand in conjunct.operands
+           for value in [operand.resolve(params)]):
+        return True
+    if conjunct.kind == "cmp":
+        value = conjunct.operands[0].resolve(params)
+        operator = conjunct.operator
+        if operator == "=":
+            return zone_min <= value <= zone_max
+        if operator == "<":
+            return zone_min < value
+        if operator == "<=":
+            return zone_min <= value
+        if operator == ">":
+            return zone_max > value
+        if operator == ">=":
+            return zone_max >= value
+        # "<>": only an all-equal chunk of exactly this value cannot match.
+        return not (zone_min == zone_max == value)
+    if conjunct.kind == "between":
+        low = conjunct.operands[0].resolve(params)
+        high = conjunct.operands[1].resolve(params)
+        if conjunct.negated:
+            # Some value outside [low, high] must be possible.
+            if low > high:
+                return True
+            return zone_min < low or zone_max > high
+        return zone_max >= low and zone_min <= high
+    if conjunct.kind == "in":
+        values = [operand.resolve(params) for operand in conjunct.operands]
+        if conjunct.negated:
+            # Only an all-equal chunk whose single value is excluded fails.
+            return not (zone_min == zone_max
+                        and any(value == zone_min for value in values))
+        return any(zone_min <= value <= zone_max for value in values)
+    return True  # pragma: no cover - defensive
+
+
+def chunk_survives(conjuncts: Sequence[SargConjunct],
+                   zone_of: Callable[[str], Optional[tuple]],
+                   params: Sequence) -> bool:
+    """Whether a chunk may contain qualifying rows.
+
+    ``zone_of(column)`` returns the chunk's exact ``(min, max)`` storage
+    bounds or ``None`` when the chunk has no zone map (unsealed).  Any
+    doubt -- missing zone map, incomparable types -- keeps the chunk.
+    """
+    for conjunct in conjuncts:
+        zone = zone_of(conjunct.column)
+        if zone is None:
+            continue
+        zone_min, zone_max = zone
+        if conjunct.decimal_storage:
+            zone_min = zone_min * _DECIMAL_DECODE
+            zone_max = zone_max * _DECIMAL_DECODE
+        elif conjunct.column_to_float:
+            zone_min = float(zone_min)
+            zone_max = float(zone_max)
+        try:
+            if not _may_match(conjunct, zone_min, zone_max, params):
+                return False
+        except TypeError:
+            continue  # incomparable types: never prune on doubt
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# scan planning (execution time)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScanPlan:
+    """Which chunk-aligned row ranges of one pipeline source to scan."""
+
+    #: Surviving ``[begin, end)`` ranges in ascending order.  Range edges
+    #: fall on chunk boundaries (adjacent surviving chunks are coalesced),
+    #: so a pruned chunk is never even partially covered.
+    ranges: tuple[tuple[int, int], ...]
+    rows_total: int
+    rows_to_scan: int
+    chunks_total: int = 0
+    chunks_pruned: int = 0
+
+    @property
+    def chunks_scanned(self) -> int:
+        return self.chunks_total - self.chunks_pruned
+
+
+def plan_table_scan(table, scan_predicates: Sequence[SargConjunct],
+                    total_rows: int, params: Sequence,
+                    use_pruning: bool = True) -> ScanPlan:
+    """Prune a table scan's chunks against their zone maps.
+
+    ``total_rows`` is the caller's row-count snapshot (the scan's upper
+    bound); chunk ranges are clamped to it.  Pruning consults only the
+    table's exact per-chunk zone maps -- a sealed chunk's bounds cover any
+    prefix of it, so pruning a partially-covered sealed chunk is safe.
+    """
+    chunk_rows = table.chunk_rows
+    if total_rows <= 0:
+        return ScanPlan(ranges=(), rows_total=0, rows_to_scan=0)
+    chunks_total = (total_rows + chunk_rows - 1) // chunk_rows
+    if not use_pruning or not scan_predicates:
+        return ScanPlan(ranges=((0, total_rows),), rows_total=total_rows,
+                        rows_to_scan=total_rows, chunks_total=chunks_total)
+    ranges: list[tuple[int, int]] = []
+    rows_to_scan = 0
+    chunks_pruned = 0
+    for index in range(chunks_total):
+        begin = index * chunk_rows
+        end = min(begin + chunk_rows, total_rows)
+        if not chunk_survives(scan_predicates,
+                              lambda column: table.zone_map(column, index),
+                              params):
+            chunks_pruned += 1
+            continue
+        if ranges and ranges[-1][1] == begin:
+            # Coalesce adjacent surviving chunks: a pruned chunk is never
+            # dispatched either way, and larger contiguous ranges keep the
+            # morsel size (and so dispatch overhead) unaffected by the
+            # chunk granularity.
+            ranges[-1] = (ranges[-1][0], end)
+        else:
+            ranges.append((begin, end))
+        rows_to_scan += end - begin
+    return ScanPlan(ranges=tuple(ranges), rows_total=total_rows,
+                    rows_to_scan=rows_to_scan, chunks_total=chunks_total,
+                    chunks_pruned=chunks_pruned)
+
+
+def plan_pipeline_scan(pipeline, total_rows: int, params: Sequence,
+                       use_pruning: bool = True) -> ScanPlan:
+    """The :class:`ScanPlan` of one pipeline's source.
+
+    Table sources go through zone-map pruning with chunk-aligned ranges;
+    intermediate sources (materialised aggregates) are one unchunked range.
+    """
+    from .physical import TableSource  # local import avoids a cycle
+
+    source = pipeline.source
+    if isinstance(source, TableSource):
+        return plan_table_scan(source.table, pipeline.scan_predicates,
+                               total_rows, params, use_pruning=use_pruning)
+    if total_rows <= 0:
+        return ScanPlan(ranges=(), rows_total=0, rows_to_scan=0)
+    return ScanPlan(ranges=((0, total_rows),), rows_total=total_rows,
+                    rows_to_scan=total_rows)

@@ -141,9 +141,7 @@ class PreparedQuery:
                                    collect_trace=collect_trace)
         self._check_mode(opts.mode)
         with self._lock:
-            return self._execute_locked(opts.mode, opts.threads,
-                                        opts.collect_trace, cost_model,
-                                        policy, params)
+            return self._execute_locked(opts, cost_model, policy, params)
 
     def execute_nowait(self, mode: Optional[str] = None,
                        threads: Optional[int] = None,
@@ -165,9 +163,7 @@ class PreparedQuery:
         if not self._lock.acquire(blocking=False):
             return None
         try:
-            return self._execute_locked(opts.mode, opts.threads,
-                                        opts.collect_trace, cost_model,
-                                        policy, params)
+            return self._execute_locked(opts, cost_model, policy, params)
         finally:
             self._lock.release()
 
@@ -178,8 +174,9 @@ class PreparedQuery:
                 f"unknown execution mode {mode!r} for a prepared query; "
                 f"expected one of {ENGINE_MODES}")
 
-    def _execute_locked(self, mode, threads, collect_trace, cost_model,
+    def _execute_locked(self, opts: ExecOptions, cost_model,
                         policy, params) -> QueryResult:
+        mode = opts.mode
         if not self.is_valid():
             self._rebuild()
         # Bind parameter values against the (possibly re-prepared) specs
@@ -195,18 +192,21 @@ class PreparedQuery:
 
         if mode == "adaptive":
             executor = AdaptiveExecutor(
-                database, num_threads=threads, collect_trace=collect_trace,
-                cost_model=cost_model, policy=policy, handles=self._handles)
+                database, num_threads=opts.threads,
+                collect_trace=opts.collect_trace,
+                cost_model=cost_model, policy=policy, handles=self._handles,
+                use_pruning=opts.use_pruning)
             result = executor.execute(self.generated, self.planning, timings)
-        elif threads > 1:
+        elif opts.threads > 1:
             executor = StaticParallelExecutor(
-                database, mode=mode, num_threads=threads,
-                collect_trace=collect_trace, tiers=self._tiers)
+                database, mode=mode, num_threads=opts.threads,
+                collect_trace=opts.collect_trace, tiers=self._tiers,
+                use_pruning=opts.use_pruning)
             result = executor.execute(self.generated, self.planning, timings)
         else:
             result = database._execute_static(
                 self.generated, self.planning, timings, mode,
-                tiers=self._tiers)
+                tiers=self._tiers, use_pruning=opts.use_pruning)
         self.executions += 1
         result.cached = not first
         # Free the execution state eagerly: the result no longer aliases it

@@ -157,3 +157,68 @@ def test_submit_saturation_returns_correct_results(stress_db):
     stats = db.scheduler.stats
     assert stats.completed >= 16
     assert stats.peak_running <= db.scheduler.max_concurrent
+
+
+def test_vectorized_scans_race_concurrent_inserts():
+    """Regression for the ragged-array race: a vectorized scan gathering
+    numpy columns while pool workers append must never observe different
+    lengths for different columns of the same table (the symptom was a
+    numpy broadcast error or a torn row).  Pruned and unpruned scans both
+    run against the moving table and must stay internally consistent."""
+    db = Database(morsel_size=256, workers=4)
+    db.catalog.create_table("ledger", [("seq", SQLType.INT64),
+                                       ("amount", SQLType.FLOAT64),
+                                       ("tag", SQLType.STRING)],
+                            chunk_rows=512)
+    db.insert("ledger", [(i, float(i), f"t{i % 5}") for i in range(4000)])
+
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def writer() -> None:
+        try:
+            base = 4000
+            for batch in range(60):
+                db.insert("ledger",
+                          [(base + batch * 25 + j, 1.0, "w")
+                           for j in range(25)])
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def scanner(use_pruning: bool) -> None:
+        from repro.options import ExecOptions
+        options = ExecOptions(mode="vectorized", use_pruning=use_pruning)
+        try:
+            while not stop.is_set():
+                # A full aggregation touches every column: lengths must
+                # agree or numpy raises / rows tear.
+                result = db.execute(
+                    "select count(*) as n, sum(amount) as s from ledger "
+                    "where seq >= 0",
+                    options=options, use_cache=False)
+                (n, s) = result.rows[0]
+                assert n >= 4000
+                # Selective scan over the clustered column.
+                selective = db.execute(
+                    "select count(*) as n from ledger "
+                    "where seq between 1024 and 1535",
+                    options=options, use_cache=False)
+                assert selective.rows == [(512,)]
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer),
+               threading.Thread(target=scanner, args=(True,)),
+               threading.Thread(target=scanner, args=(False,))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "race test hung"
+    assert not errors, errors[:3]
+
+    final = db.execute("select count(*) from ledger", use_cache=False)
+    assert final.rows == [(4000 + 60 * 25,)]
+    db.close()
