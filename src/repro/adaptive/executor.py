@@ -39,6 +39,7 @@ from typing import Optional
 
 from ..backend.cost_model import CostModel, default_cost_model
 from ..codegen import GeneratedPipeline, GeneratedQuery
+from ..codegen.runtime import BreakerRun
 from ..engine import PhaseTimings, PipelineExecution, QueryResult
 from ..errors import AdaptiveError
 from ..optimizer import PlanningResult
@@ -52,6 +53,28 @@ from .trace import ExecutionTrace, TraceEvent
 #: Initial morsel size for adaptive execution (grows towards the maximum),
 #: giving the policy early sample points as described in the paper.
 INITIAL_MORSEL_SIZE = 1024
+
+
+def _merge_task_runner(database, num_threads: int):
+    """How a pipeline's per-partition merge tasks run.
+
+    Single-threaded executions merge on the calling thread; parallel
+    executions feed the tasks through the shared worker pool as one-index
+    morsels, bounded by the query's thread cap like any other work.
+    """
+    if num_threads <= 1:
+        return None
+
+    def run_tasks(tasks):
+        if len(tasks) <= 1:
+            for task in tasks:
+                task()
+            return
+        dispatcher = MorselDispatcher.for_tasks(len(tasks))
+        database.worker_pool.run_morsels(
+            dispatcher, lambda slot, morsel: tasks[morsel.begin](),
+            max_workers=min(num_threads, len(tasks)))
+    return run_tasks
 
 
 def _report_compile_failure(future, pipeline_name: str) -> None:
@@ -205,10 +228,16 @@ class AdaptiveExecutor:
             finally:
                 decision_lock.release()
 
+        # Per-worker-slot breaker partials: the context rides into the
+        # generated code as the worker function's ``state`` argument, so a
+        # mid-pipeline tier switch keeps filling the same slot partials.
+        breaker = BreakerRun(generated.state, pipeline.pipeline,
+                             max_slots=self.num_threads)
+
         def run_morsel(slot: int, morsel) -> None:
             executable, mode = handle.executable()
             start = time.perf_counter()
-            executable(None, morsel.begin, morsel.end)
+            executable(breaker.context(slot), morsel.begin, morsel.end)
             end = time.perf_counter()
             progress.record_morsel(slot, morsel.size, end - start)
             trace.add(TraceEvent(slot, start - query_start,
@@ -233,10 +262,16 @@ class AdaptiveExecutor:
             _report_compile_failure(future, pipeline.name)
         timings.compile += sum(background_compile_seconds)
 
+        merge_stats = breaker.merge(
+            _merge_task_runner(self.database, self.num_threads))
         if pipeline.finish is not None:
             pipeline.finish()
         elapsed = time.perf_counter() - pipeline_start
         timings.execution += elapsed
+        timings.breaker_partitions = max(timings.breaker_partitions,
+                                         merge_stats.partitions)
+        timings.breaker_partials += merge_stats.partial_entries
+        timings.breaker_merge += merge_stats.merge_seconds
 
         mode_history: list[str] = []
         for event in trace.events:
@@ -247,7 +282,10 @@ class AdaptiveExecutor:
             name=pipeline.name, rows=rows,
             morsels=dispatcher.dispatched, seconds=elapsed,
             mode_history=mode_history or ["bytecode"],
-            ir_instructions=pipeline.function.instruction_count())
+            ir_instructions=pipeline.function.instruction_count(),
+            breaker_partitions=merge_stats.partitions,
+            breaker_partial_entries=merge_stats.partial_entries,
+            merge_seconds=merge_stats.merge_seconds)
 
 
 class StaticParallelExecutor:
@@ -293,12 +331,14 @@ class StaticParallelExecutor:
             rows = scan.rows_to_scan
             dispatcher = MorselDispatcher(morsel_size=self.database.morsel_size,
                                           ranges=scan.ranges)
+            breaker = BreakerRun(generated.state, pipeline.pipeline,
+                                 max_slots=self.num_threads)
             pipeline_start = time.perf_counter()
 
             def run_morsel(slot: int, morsel, executable=executable,
-                           pipeline=pipeline) -> None:
+                           pipeline=pipeline, breaker=breaker) -> None:
                 start = time.perf_counter()
-                executable(None, morsel.begin, morsel.end)
+                executable(breaker.context(slot), morsel.begin, morsel.end)
                 end = time.perf_counter()
                 trace.add(TraceEvent(slot, start - query_start,
                                      end - query_start, "morsel",
@@ -315,15 +355,24 @@ class StaticParallelExecutor:
                     self.database.worker_pool.run_morsels(
                         dispatcher, run_morsel,
                         max_workers=self.num_threads)
+            merge_stats = breaker.merge(
+                _merge_task_runner(self.database, self.num_threads))
             if pipeline.finish is not None:
                 pipeline.finish()
             elapsed = time.perf_counter() - pipeline_start
             timings.execution += elapsed
+            timings.breaker_partitions = max(timings.breaker_partitions,
+                                             merge_stats.partitions)
+            timings.breaker_partials += merge_stats.partial_entries
+            timings.breaker_merge += merge_stats.merge_seconds
             pipeline_stats.append(PipelineExecution(
                 name=pipeline.name, rows=rows,
                 morsels=dispatcher.dispatched, seconds=elapsed,
                 mode_history=[self.mode],
-                ir_instructions=pipeline.function.instruction_count()))
+                ir_instructions=pipeline.function.instruction_count(),
+                breaker_partitions=merge_stats.partitions,
+                breaker_partial_entries=merge_stats.partial_entries,
+                merge_seconds=merge_stats.merge_seconds))
 
         return self.database._assemble_result(
             generated, planning, timings, self.mode, pipeline_stats,

@@ -45,6 +45,16 @@ class MorselDispatcher:
     morsels never cross a range edge, so pruned chunks stay undispatched).
     """
 
+    @classmethod
+    def for_tasks(cls, count: int) -> "MorselDispatcher":
+        """A dispatcher handing out ``count`` single-index morsels.
+
+        Used for the breaker merge phase: partition-merge task *i* runs as
+        the morsel ``[i, i+1)``, so per-partition merges ride the same
+        worker-pool fairness machinery as ordinary morsels.
+        """
+        return cls(total_rows=count, morsel_size=1)
+
     def __init__(self, total_rows: int = 0, morsel_size: int = 10_000,
                  initial_size: Optional[int] = None, growth_factor: int = 2,
                  ranges: Optional[Sequence[tuple[int, int]]] = None):

@@ -4,6 +4,17 @@ Every operator consumes and produces whole columns: filters become boolean
 masks, joins gather build-side payload columns through index arrays,
 aggregation uses ``np.unique``-based grouping.  Like MonetDB there is no
 per-query compilation; preparation cost is only planning.
+
+Pipeline breakers run as **batch kernels**: the join build materialises its
+key and payload columns (no per-row dict inserts), the probe matches whole
+key vectors at once (factorise both sides over a shared vocabulary, sort
+the build side, ``searchsorted`` the probe side, then expand matches with
+``repeat``/``cumsum`` arithmetic), and GROUP BY -- including multi-key
+grouping and MIN/MAX -- reduces via integer group codes, ``bincount`` and
+``reduceat`` over the chunk-cached numpy columns.  ``use_batch_kernels=
+False`` keeps the historical row-at-a-time dict loops for comparison (the
+pipeline-breaker benchmark asserts the batch kernels' speedup against it);
+results are identical, including the ascending group-key order.
 """
 
 from __future__ import annotations
@@ -30,23 +41,139 @@ from ..types import SQLType
 from .expr_eval import evaluate_expression_vectorized
 from .volcano import _finish_output
 
+#: Combined group/join codes stay below this bound so the per-column
+#: factor products fit comfortably in int64; larger key domains fall back
+#: to the row-at-a-time path.
+_MAX_CODE_DOMAIN = 1 << 62
+
+
+def _has_nan(vector) -> bool:
+    """Whether a float key vector contains NaN.
+
+    ``np.unique`` over codes would collapse NaNs to one key, so NaN-bearing
+    key vectors take the row-at-a-time fallback instead -- keeping the
+    batch kernels output-identical to the legacy path on every input.
+    (NaN *semantics* remain this engine's historical ones: NaN join keys
+    never match, and the single-key legacy grouping path itself groups
+    NaNs via ``np.unique``.  The dict-based engines resolve NaN keys by
+    object identity, so exact cross-engine NaN-key agreement is not a
+    guarantee anywhere -- see DESIGN.md.)
+    """
+    return vector.dtype.kind == "f" and bool(np.isnan(vector).any())
+
+
+def _factorize_columns(vectors):
+    """Combine one side's key columns into int64 codes (ascending order).
+
+    Returns ``None`` when the combined key domain could overflow int64 or
+    a key column contains NaN.  Codes order like the column tuples do
+    (each per-column code is the rank of the value), so ``np.unique`` over
+    the codes yields groups in ascending lexicographic key order.
+    """
+    codes = None
+    domain = 1
+    for vector in vectors:
+        vector = np.asarray(vector)
+        if _has_nan(vector):
+            return None
+        _, inverse, counts = np.unique(vector,
+                                       return_inverse=True,
+                                       return_counts=True)
+        size = len(counts)
+        domain *= max(size, 1)
+        if domain > _MAX_CODE_DOMAIN:
+            return None
+        inverse = inverse.astype(np.int64).reshape(-1)
+        codes = inverse if codes is None else codes * size + inverse
+    return codes
+
+
+def _factorize_pair(build_vectors, probe_vectors):
+    """Factorize key columns over a vocabulary shared by both join sides."""
+    build_codes = None
+    probe_codes = None
+    domain = 1
+    for build, probe in zip(build_vectors, probe_vectors):
+        build = np.asarray(build)
+        probe = np.asarray(probe)
+        if _has_nan(build) or _has_nan(probe):
+            return None, None
+        both = np.concatenate([build, probe]) if (len(build) or len(probe)) \
+            else build
+        _, inverse = np.unique(both, return_inverse=True)
+        inverse = inverse.astype(np.int64).reshape(-1)
+        size = int(inverse.max()) + 1 if len(inverse) else 1
+        domain *= max(size, 1)
+        if domain > _MAX_CODE_DOMAIN:
+            return None, None
+        cb = inverse[:len(build)]
+        cp = inverse[len(build):]
+        if build_codes is None:
+            build_codes, probe_codes = cb, cp
+        else:
+            build_codes = build_codes * size + cb
+            probe_codes = probe_codes * size + cp
+    return build_codes, probe_codes
+
+
+def _batch_match(build_codes, probe_codes):
+    """All (probe row, build row) matches of two code vectors.
+
+    The build side is grouped by a stable argsort (so matches keep build
+    insertion order, exactly like the dict path), the probe side is matched
+    via ``searchsorted`` and expanded arithmetically -- no per-row Python.
+    """
+    num_probe = len(probe_codes)
+    empty = np.empty(0, dtype=np.int64)
+    if len(build_codes) == 0 or num_probe == 0:
+        return empty, empty
+    unique_codes, build_inverse = np.unique(build_codes, return_inverse=True)
+    build_inverse = build_inverse.reshape(-1)
+    order = np.argsort(build_inverse, kind="stable")
+    counts = np.bincount(build_inverse, minlength=len(unique_codes))
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+    positions = np.searchsorted(unique_codes, probe_codes)
+    clipped = np.minimum(positions, len(unique_codes) - 1)
+    valid = unique_codes[clipped] == probe_codes
+    match_counts = np.where(valid, counts[clipped], 0)
+    total = int(match_counts.sum())
+    if total == 0:
+        return empty, empty
+    probe_idx = np.repeat(np.arange(num_probe, dtype=np.int64), match_counts)
+    out_offsets = np.cumsum(match_counts) - match_counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(out_offsets,
+                                                          match_counts)
+    build_pos = np.repeat(np.where(valid, starts[clipped], 0),
+                          match_counts) + within
+    return probe_idx, order[build_pos]
+
 
 class VectorizedEngine:
     """Column-at-a-time execution of pipeline plans."""
 
-    def __init__(self, catalog: Catalog, use_pruning: bool = True):
+    def __init__(self, catalog: Catalog, use_pruning: bool = True,
+                 use_batch_kernels: bool = True):
         self.catalog = catalog
         self.use_pruning = use_pruning
+        #: ``False`` restores the historical row-at-a-time dict loops for
+        #: join build/probe and grouping (benchmark reference path).
+        self.use_batch_kernels = use_batch_kernels
         #: Zone-map pruning counters of the last execution.
         self.chunks_pruned = 0
         self.chunks_scanned = 0
+        #: Breaker metrics (the column engine has no partitioned hash
+        #: tables; exposed for result-stats uniformity).
+        self.breaker_partitions_used = 0
+        self.breaker_partial_entries = 0
+        self.breaker_merge_seconds = 0.0
         #: Bind-parameter values of the current execution (encoded).
         self._params: tuple = ()
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
         self._params = tuple(params)
-        hash_tables: dict[int, tuple[dict, list[np.ndarray], list]] = {}
+        hash_tables: dict[int, tuple] = {}
         intermediates: dict[str, tuple[dict, int]] = {}
         output_rows: list[tuple] = []
         output_sink: Optional[OutputSink] = None
@@ -130,33 +257,71 @@ class VectorizedEngine:
         return stored
 
     # ------------------------------------------------------------------ #
+    # hash joins
+    # ------------------------------------------------------------------ #
+    def _build_hash_table(self, sink: HashBuildSink, columns, num_rows):
+        payload_arrays = []
+        for column in sink.payload_columns:
+            if num_rows == 0:
+                payload_arrays.append(np.asarray([])[:0])
+            else:
+                payload_arrays.append(
+                    np.asarray(columns[(column.binding, column.column)]))
+        if num_rows == 0:
+            key_vectors = [np.asarray([])[:0] for _ in sink.build_keys]
+        else:
+            key_vectors = [np.asarray(evaluate_expression_vectorized(
+                key, columns, num_rows, self._params))
+                for key in sink.build_keys]
+
+        if self.use_batch_kernels:
+            # Batch build: the "hash table" is just the materialised key
+            # vectors; matching happens wholesale at probe time.
+            return ("batch", (key_vectors, num_rows), payload_arrays,
+                    list(sink.payload_columns))
+
+        key_to_rows: dict = {}
+        if len(key_vectors) == 1:
+            keys = key_vectors[0]
+            for row in range(num_rows):
+                key_to_rows.setdefault(keys[row], []).append(row)
+        else:
+            for row in range(num_rows):
+                key = tuple(vector[row] for vector in key_vectors)
+                key_to_rows.setdefault(key, []).append(row)
+        return ("rows", key_to_rows, payload_arrays,
+                list(sink.payload_columns))
+
     def _probe(self, operator: PhysHashProbe, columns, num_rows, hash_tables):
-        key_to_rows, payload_arrays, payload_columns = \
+        kind, keys_or_table, payload_arrays, payload_columns = \
             hash_tables[operator.join_id]
 
         key_vectors = [np.asarray(evaluate_expression_vectorized(
             key, columns, num_rows, self._params))
             for key in operator.probe_keys]
 
-        probe_indices: list[int] = []
-        build_indices: list[int] = []
-        if len(key_vectors) == 1:
-            keys = key_vectors[0]
-            for probe_index in range(num_rows):
-                matches = key_to_rows.get(keys[probe_index])
-                if matches is not None:
-                    probe_indices.extend([probe_index] * len(matches))
-                    build_indices.extend(matches)
+        if kind == "batch":
+            build_vectors, build_rows = keys_or_table
+            if not key_vectors:
+                # Key-less (cross) join: every probe row matches every
+                # build row, in build order -- like probing key ().
+                probe_idx = np.repeat(np.arange(num_rows, dtype=np.int64),
+                                      build_rows)
+                build_idx = np.tile(np.arange(build_rows, dtype=np.int64),
+                                    num_rows)
+            else:
+                build_codes, probe_codes = _factorize_pair(build_vectors,
+                                                           key_vectors)
+                if build_codes is not None:
+                    probe_idx, build_idx = _batch_match(build_codes,
+                                                        probe_codes)
+                else:
+                    # Key domain too wide for int64 codes: row-at-a-time.
+                    probe_idx, build_idx = self._match_rows_fallback(
+                        build_vectors, key_vectors, num_rows)
         else:
-            for probe_index in range(num_rows):
-                key = tuple(vector[probe_index] for vector in key_vectors)
-                matches = key_to_rows.get(key)
-                if matches is not None:
-                    probe_indices.extend([probe_index] * len(matches))
-                    build_indices.extend(matches)
-
-        probe_idx = np.asarray(probe_indices, dtype=np.int64)
-        build_idx = np.asarray(build_indices, dtype=np.int64)
+            probe_idx, build_idx = self._match_rows(keys_or_table,
+                                                    key_vectors, num_rows)
 
         joined = {key: values[probe_idx] if len(probe_idx) else values[:0]
                   for key, values in columns.items()}
@@ -174,29 +339,45 @@ class VectorizedEngine:
             num_rows = int(mask.sum())
         return joined, num_rows
 
-    def _build_hash_table(self, sink: HashBuildSink, columns, num_rows):
-        if num_rows == 0:
-            empty = [np.asarray([])[:0] for _ in sink.payload_columns]
-            return {}, empty, list(sink.payload_columns)
-        key_vectors = [np.asarray(evaluate_expression_vectorized(
-            key, columns, num_rows, self._params))
-            for key in sink.build_keys]
-        payload_arrays = []
-        for column in sink.payload_columns:
-            values = columns[(column.binding, column.column)]
-            payload_arrays.append(np.asarray(values))
-
-        key_to_rows: dict = {}
+    @staticmethod
+    def _match_rows(key_to_rows: dict, key_vectors, num_rows):
+        """Row-at-a-time probe against a build-side dict (legacy path)."""
+        probe_indices: list[int] = []
+        build_indices: list[int] = []
         if len(key_vectors) == 1:
             keys = key_vectors[0]
-            for row in range(num_rows):
+            for probe_index in range(num_rows):
+                matches = key_to_rows.get(keys[probe_index])
+                if matches is not None:
+                    probe_indices.extend([probe_index] * len(matches))
+                    build_indices.extend(matches)
+        else:
+            for probe_index in range(num_rows):
+                key = tuple(vector[probe_index] for vector in key_vectors)
+                matches = key_to_rows.get(key)
+                if matches is not None:
+                    probe_indices.extend([probe_index] * len(matches))
+                    build_indices.extend(matches)
+        return (np.asarray(probe_indices, dtype=np.int64),
+                np.asarray(build_indices, dtype=np.int64))
+
+    @classmethod
+    def _match_rows_fallback(cls, build_vectors, key_vectors, num_rows):
+        """Dict-based matching when batch codes would overflow."""
+        key_to_rows: dict = {}
+        build_rows = len(build_vectors[0]) if build_vectors else 0
+        if len(build_vectors) == 1:
+            keys = build_vectors[0]
+            for row in range(build_rows):
                 key_to_rows.setdefault(keys[row], []).append(row)
         else:
-            for row in range(num_rows):
-                key = tuple(vector[row] for vector in key_vectors)
+            for row in range(build_rows):
+                key = tuple(vector[row] for vector in build_vectors)
                 key_to_rows.setdefault(key, []).append(row)
-        return key_to_rows, payload_arrays, list(sink.payload_columns)
+        return cls._match_rows(key_to_rows, key_vectors, num_rows)
 
+    # ------------------------------------------------------------------ #
+    # aggregation
     # ------------------------------------------------------------------ #
     def _aggregate(self, sink: AggregateSink, columns, num_rows):
         binding = sink.intermediate.binding
@@ -227,21 +408,12 @@ class VectorizedEngine:
                                                    num_rows, self._params)))
 
         if sink.group_by:
-            # Group via np.unique over a structured key.
-            if len(group_vectors) == 1:
-                unique_keys, inverse = np.unique(group_vectors[0],
-                                                 return_inverse=True)
-                key_columns = [unique_keys]
-            else:
-                stacked = np.empty(num_rows, dtype=object)
-                for row in range(num_rows):
-                    stacked[row] = tuple(v[row] for v in group_vectors)
-                unique_keys, inverse = np.unique(stacked, return_inverse=True)
-                key_columns = []
-                for position in range(len(group_vectors)):
-                    key_columns.append(np.asarray(
-                        [key[position] for key in unique_keys], dtype=object))
-            num_groups = len(unique_keys)
+            grouped = None
+            if self.use_batch_kernels:
+                grouped = self._group_batch(group_vectors, num_rows)
+            if grouped is None:
+                grouped = self._group_rows(group_vectors, num_rows)
+            key_columns, inverse, num_groups = grouped
         else:
             inverse = np.zeros(num_rows, dtype=np.int64)
             key_columns = []
@@ -269,16 +441,71 @@ class VectorizedEngine:
                 counts = np.bincount(inverse, minlength=num_groups)
                 values = np.divide(sums, np.maximum(counts, 1))
             elif spec.function in ("min", "max"):
-                values = np.empty(num_groups, dtype=object)
-                reducer = min if spec.function == "min" else max
-                for group in range(num_groups):
-                    members = argument[inverse == group]
-                    values[group] = reducer(members) if len(members) else 0
+                values = self._min_max(spec.function, argument, inverse,
+                                       num_groups)
             else:  # pragma: no cover - defensive
                 raise ExecutionError(f"unknown aggregate {spec.function!r}")
             result_columns[(binding, f"a{index}")] = np.asarray(values)
 
         return result_columns, num_groups
+
+    @staticmethod
+    def _group_batch(group_vectors, num_rows):
+        """Integer-code grouping (handles multi-key without object tuples).
+
+        Groups come out in ascending key order (codes order like the key
+        tuples), matching the deterministic finalize order of the other
+        engines.  Returns ``None`` when the key domain could overflow.
+        """
+        codes = _factorize_columns(group_vectors)
+        if codes is None:
+            return None
+        _, first_index, inverse = np.unique(codes, return_index=True,
+                                            return_inverse=True)
+        inverse = inverse.astype(np.int64).reshape(-1)
+        key_columns = [np.asarray(vector)[first_index]
+                       for vector in group_vectors]
+        return key_columns, inverse, len(first_index)
+
+    @staticmethod
+    def _group_rows(group_vectors, num_rows):
+        """Row-at-a-time grouping over object tuples (legacy path)."""
+        if len(group_vectors) == 1:
+            unique_keys, inverse = np.unique(group_vectors[0],
+                                             return_inverse=True)
+            key_columns = [unique_keys]
+        else:
+            stacked = np.empty(num_rows, dtype=object)
+            for row in range(num_rows):
+                stacked[row] = tuple(v[row] for v in group_vectors)
+            unique_keys, inverse = np.unique(stacked, return_inverse=True)
+            key_columns = []
+            for position in range(len(group_vectors)):
+                key_columns.append(np.asarray(
+                    [key[position] for key in unique_keys], dtype=object))
+        return key_columns, inverse.astype(np.int64).reshape(-1), \
+            len(unique_keys)
+
+    def _min_max(self, function: str, argument, inverse, num_groups):
+        argument = np.asarray(argument)
+        # NaN arguments take the row loop: ``reduceat`` would propagate NaN
+        # while Python's min/max keeps the first non-NaN comparison winner.
+        if self.use_batch_kernels and argument.dtype != object \
+                and not _has_nan(argument):
+            # Scatter-free reduction: sort rows by group, reduce each
+            # contiguous segment (every group has at least one member).
+            order = np.argsort(inverse, kind="stable")
+            sorted_values = argument[order]
+            counts = np.bincount(inverse, minlength=num_groups)
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            reducer = np.minimum if function == "min" else np.maximum
+            return reducer.reduceat(sorted_values, starts)
+        values = np.empty(num_groups, dtype=object)
+        reducer = min if function == "min" else max
+        for group in range(num_groups):
+            members = argument[inverse == group]
+            values[group] = reducer(members) if len(members) else 0
+        return values
 
     # ------------------------------------------------------------------ #
     def _emit_output(self, sink: OutputSink, columns, num_rows, output_rows):

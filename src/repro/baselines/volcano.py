@@ -10,9 +10,17 @@ high per-tuple overhead.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Optional
 
 from ..catalog import Catalog
+from ..codegen.runtime import (
+    group_sort_key,
+    initial_cells,
+    merge_agg_partition,
+    merge_join_partition,
+    round_up_pow2,
+)
 from ..errors import ExecutionError
 from ..plan.physical import (
     AggregateSink,
@@ -31,21 +39,39 @@ from .expr_eval import evaluate_expression
 
 
 class VolcanoEngine:
-    """Tuple-at-a-time interpretation of pipeline plans."""
+    """Tuple-at-a-time interpretation of pipeline plans.
 
-    def __init__(self, catalog: Catalog, use_pruning: bool = True):
+    Pipeline breakers share the compiled engine's partition-parallel
+    runtime: build and aggregate rows accumulate into hash-partitioned
+    partials, a merge step seals the partition tables, and probes read the
+    sealed partitions -- the same lifecycle the worker contexts follow,
+    with a single (the calling) worker.  ``use_partitioned_breakers=False``
+    is the single-table path (one partition, no separate merge step).
+    """
+
+    def __init__(self, catalog: Catalog, use_pruning: bool = True,
+                 breaker_partitions: int = 1,
+                 use_partitioned_breakers: bool = True):
         self.catalog = catalog
         self.use_pruning = use_pruning
+        self._partitions = (round_up_pow2(breaker_partitions)
+                            if use_partitioned_breakers else 1)
+        self.use_partitioned_breakers = use_partitioned_breakers
         #: Zone-map pruning counters of the last execution.
         self.chunks_pruned = 0
         self.chunks_scanned = 0
+        #: Breaker metrics of the last execution (`breaker_partitions_used`
+        #: stays 0 until a partitioned join-build/aggregate actually runs).
+        self.breaker_partitions_used = 0
+        self.breaker_partial_entries = 0
+        self.breaker_merge_seconds = 0.0
         #: Bind-parameter values of the current execution (encoded).
         self._params: tuple = ()
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
         self._params = tuple(params)
-        hash_tables: dict[int, dict] = {}
+        hash_tables: dict[int, list[dict]] = {}
         intermediates: dict[str, list[dict]] = {}
         output_rows: list[tuple] = []
         output_sink: Optional[OutputSink] = None
@@ -103,12 +129,13 @@ class VolcanoEngine:
                         if evaluate_expression(operator.predicate, r, self._params)]
             elif isinstance(operator, PhysHashProbe):
                 joined: list[dict] = []
-                table = hash_tables[operator.join_id]
+                parts = hash_tables[operator.join_id]
+                mask = len(parts) - 1
                 for current in rows:
                     key_values = tuple(evaluate_expression(k, current, self._params)
                                        for k in operator.probe_keys)
                     key = key_values[0] if len(key_values) == 1 else key_values
-                    for payload in table.get(key, ()):  # inner join
+                    for payload in parts[hash(key) & mask].get(key, ()):  # inner join
                         combined = dict(current)
                         for column, value in zip(operator.payload_columns,
                                                  payload):
@@ -129,7 +156,9 @@ class VolcanoEngine:
     # ------------------------------------------------------------------ #
     def _run_build(self, pipeline: Pipeline, sink: HashBuildSink,
                    hash_tables: dict, intermediates: dict) -> None:
-        table: dict = {}
+        count = self._partitions
+        mask = count - 1
+        partial: list[dict] = [{} for _ in range(count)]
         for source_row in self._source_rows(pipeline, intermediates):
             for row in self._apply_operators(pipeline, source_row,
                                              hash_tables):
@@ -138,22 +167,35 @@ class VolcanoEngine:
                 key = key_values[0] if len(key_values) == 1 else key_values
                 payload = tuple(row[(c.binding, c.column)]
                                 for c in sink.payload_columns)
-                table.setdefault(key, []).append(payload)
-        hash_tables[sink.join_id] = table
+                partial[hash(key) & mask].setdefault(key, []).append(payload)
+        if self.use_partitioned_breakers:
+            self.breaker_partitions_used = count
+            self.breaker_partial_entries += sum(len(p) for p in partial)
+            start = time.perf_counter()
+            sealed: list[dict] = [{} for _ in range(count)]
+            for index in range(count):
+                merge_join_partition(sealed[index], [partial[index]])
+            self.breaker_merge_seconds += time.perf_counter() - start
+            hash_tables[sink.join_id] = sealed
+        else:
+            hash_tables[sink.join_id] = partial
 
     def _run_aggregate(self, pipeline: Pipeline, sink: AggregateSink,
                        hash_tables: dict, intermediates: dict) -> None:
-        groups: dict = {}
+        count = self._partitions
+        mask = count - 1
+        partial: list[dict] = [{} for _ in range(count)]
+        specs = list(sink.aggregates)
         for source_row in self._source_rows(pipeline, intermediates):
             for row in self._apply_operators(pipeline, source_row,
                                              hash_tables):
                 key = tuple(evaluate_expression(g, row, self._params)
                             for g in sink.group_by)
-                cells = groups.get(key)
+                part = partial[hash(key) & mask]
+                cells = part.get(key)
                 if cells is None:
-                    cells = groups[key] = [_initial_cell(s)
-                                           for s in sink.aggregates]
-                for index, spec in enumerate(sink.aggregates):
+                    cells = part[key] = initial_cells(specs)
+                for index, spec in enumerate(specs):
                     if spec.function == "count":
                         cells[index] += 1
                         continue
@@ -170,16 +212,34 @@ class VolcanoEngine:
                         if cells[index] is None or value > cells[index]:
                             cells[index] = value
 
-        if not groups and not sink.group_by:
-            groups[()] = [_empty_cell(s) for s in sink.aggregates]
+        if self.use_partitioned_breakers:
+            self.breaker_partitions_used = count
+            self.breaker_partial_entries += sum(len(p) for p in partial)
+            start = time.perf_counter()
+            sealed: list[dict] = [{} for _ in range(count)]
+            for index in range(count):
+                merge_agg_partition(specs, sealed[index], [partial[index]])
+            self.breaker_merge_seconds += time.perf_counter() - start
+        else:
+            sealed = partial
+
+        items: list = []
+        for part in sealed:
+            items.extend(part.items())
+        if not items and not sink.group_by:
+            items.append(((), [_empty_cell(s) for s in specs]))
+        if sink.group_by:
+            # Ascending group-key order: deterministic unordered GROUP BY
+            # results, identical across engines and partition counts.
+            items.sort(key=lambda item: group_sort_key(item[0]))
 
         rows: list[dict] = []
         binding = sink.intermediate.binding
-        for key, cells in groups.items():
+        for key, cells in items:
             row = {}
             for index in range(len(sink.group_by)):
                 row[(binding, f"k{index}")] = key[index]
-            for index, spec in enumerate(sink.aggregates):
+            for index, spec in enumerate(specs):
                 value = cells[index]
                 if spec.function == "avg":
                     value = value[0] / value[1] if value[1] else 0.0
@@ -203,16 +263,6 @@ class VolcanoEngine:
 
 
 # --------------------------------------------------------------------------- #
-def _initial_cell(spec):
-    if spec.function == "count":
-        return 0
-    if spec.function == "avg":
-        return [0.0, 0]
-    if spec.function in ("min", "max"):
-        return None
-    return 0 if spec.result_type is SQLType.INT64 else 0.0
-
-
 def _empty_cell(spec):
     if spec.function == "count":
         return 0

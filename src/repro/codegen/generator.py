@@ -373,6 +373,11 @@ class CodeGenerator:
     def _emit_sink(self, builder: IRBuilder, compiler: ExpressionCompiler,
                    pipeline: Pipeline) -> None:
         sink = pipeline.sink
+        # The worker function's ``state`` argument carries the per-worker
+        # breaker context (a WorkerContext, or None on the single-table
+        # fallback path); every sink call forwards it so partial state stays
+        # slot-local no matter which tier executes the call.
+        context_arg = builder.function.args[0]
 
         if isinstance(sink, HashBuildSink):
             key_values = [compiler.compile(key) for key in sink.build_keys]
@@ -380,12 +385,14 @@ class CodeGenerator:
                               for column in sink.payload_columns]
             insert_impl = self.runtime.make_build_insert(
                 sink.join_id, len(sink.build_keys), len(sink.payload_columns))
-            arg_types = ([ir_type_of(k.result_type) for k in sink.build_keys]
+            arg_types = ([ptr]
+                         + [ir_type_of(k.result_type) for k in sink.build_keys]
                          + [ir_type_of(c.result_type)
                             for c in sink.payload_columns])
             insert_extern = ExternFunction(insert_impl.__name__, arg_types,
                                            void, insert_impl)
-            builder.call(insert_extern, key_values + payload_values)
+            builder.call(insert_extern,
+                         [context_arg] + key_values + payload_values)
             return
 
         if isinstance(sink, AggregateSink):
@@ -398,11 +405,12 @@ class CodeGenerator:
                 argument_values.append(compiler.compile(spec.argument))
                 argument_types.append(ir_type_of(spec.argument.result_type))
             update_impl = self.runtime.make_agg_update(sink)
-            arg_types = ([ir_type_of(expr.result_type)
-                          for expr in sink.group_by] + argument_types)
+            arg_types = ([ptr] + [ir_type_of(expr.result_type)
+                                  for expr in sink.group_by] + argument_types)
             update_extern = ExternFunction(update_impl.__name__, arg_types,
                                            void, update_impl)
-            builder.call(update_extern, group_values + argument_values)
+            builder.call(update_extern,
+                         [context_arg] + group_values + argument_values)
             return
 
         if isinstance(sink, OutputSink):
@@ -414,9 +422,9 @@ class CodeGenerator:
                 values.append(compiler.compile(expr))
                 types.append(ir_type_of(expr.result_type))
             emit_impl = self.runtime.make_emit(sink)
-            emit_extern = ExternFunction(emit_impl.__name__, types, void,
-                                         emit_impl)
-            builder.call(emit_extern, values)
+            emit_extern = ExternFunction(emit_impl.__name__, [ptr] + types,
+                                         void, emit_impl)
+            builder.call(emit_extern, [context_arg] + values)
             return
 
         raise CodegenError(f"unknown sink {type(sink).__name__}")

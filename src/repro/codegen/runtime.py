@@ -10,13 +10,32 @@ differ.
 All runtime state of one query execution lives in a :class:`QueryState`.
 Worker functions never allocate shared state themselves, which is what makes
 morsels independent and execution-mode switches safe (paper Section III-B).
+
+Pipeline breakers (join builds, aggregations, result collection) are
+**partition-parallel**: every worker slot accumulates into its own
+:class:`WorkerContext` -- hash-partitioned partial dictionaries and a local
+output buffer -- so the per-tuple hot path acquires no shared lock at all.
+When a pipeline's morsels are done, a merge phase folds the partials into
+the state's *sealed* partition tables (one independent task per partition,
+runnable on the shared worker pool), and downstream probe / intermediate-scan
+pipelines read the sealed partitions without synchronisation.  The worker
+context travels through the generated code as the worker function's ``state``
+argument, so every tier -- IR interpreter, bytecode VM and both compiled
+tiers -- threads it through unchanged, and a mid-pipeline tier switch simply
+keeps appending to the same slot-local partials.
+
+The escape hatch (``ExecOptions.use_partitioned_breakers=False``) restores
+the historical single-table path: workers receive ``None`` as their context
+and write straight into the sealed tables (aggregate read-modify-writes are
+then guarded by one counted fallback lock).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..errors import ExecutionError
 from ..plan.physical import (
@@ -32,17 +51,126 @@ from ..plan.physical import (
 from ..types import SQLType, days_to_date
 
 
+def round_up_pow2(value: int) -> int:
+    """The smallest power of two >= ``value`` (at least 1)."""
+    result = 1
+    while result < max(int(value), 1):
+        result <<= 1
+    return result
+
+
+def initial_cells(specs: Sequence[AggregateSpec]) -> list:
+    """Fresh accumulator cells for one group (AVG uses a [sum, count] pair)."""
+    cells = []
+    for spec in specs:
+        if spec.function == "count":
+            cells.append(0)
+        elif spec.function == "avg":
+            cells.append([0.0, 0])
+        elif spec.function in ("min", "max"):
+            cells.append(None)
+        else:  # sum
+            cells.append(0 if spec.result_type is SQLType.INT64 else 0.0)
+    return cells
+
+
+def combine_cells(specs: Sequence[AggregateSpec], target: list,
+                  other: list) -> None:
+    """Fold one partial's accumulator cells into another (merge phase)."""
+    for index, spec in enumerate(specs):
+        value = other[index]
+        if spec.function in ("count", "sum"):
+            target[index] += value
+        elif spec.function == "avg":
+            pair = target[index]
+            pair[0] += value[0]
+            pair[1] += value[1]
+        elif spec.function == "min":
+            current = target[index]
+            if current is None or (value is not None and value < current):
+                target[index] = value
+        else:  # max
+            current = target[index]
+            if current is None or (value is not None and value > current):
+                target[index] = value
+
+
+def merge_join_partition(target: dict, partials: Sequence[dict]) -> None:
+    """Merge one partition's per-worker join partials into ``target``.
+
+    Bucket lists of the first contributor are adopted by identity (the
+    partials are discarded after the merge), later contributors extend.
+    """
+    for partial in partials:
+        for key, bucket in partial.items():
+            existing = target.get(key)
+            if existing is None:
+                target[key] = bucket
+            else:
+                existing.extend(bucket)
+
+
+def merge_agg_partition(specs: Sequence[AggregateSpec], target: dict,
+                        partials: Sequence[dict]) -> None:
+    """Merge one partition's per-worker aggregation partials into ``target``."""
+    for partial in partials:
+        for key, cells in partial.items():
+            existing = target.get(key)
+            if existing is None:
+                target[key] = cells
+            else:
+                combine_cells(specs, existing, cells)
+
+
+class WorkerContext:
+    """One worker slot's partial breaker state for one pipeline run.
+
+    Slots are exclusive (at most one in-flight morsel per slot, see
+    :class:`repro.scheduler.MorselSource`), so nothing here is locked.  The
+    context is handed to the generated worker function as its ``state``
+    argument and survives execution-mode switches: the partials belong to
+    the slot, not to the tier that filled them.
+    """
+
+    __slots__ = ("joins", "aggs", "rows")
+
+    def __init__(self):
+        #: join_id -> list of partition dicts (key -> list of payloads)
+        self.joins: dict[int, list[dict]] = {}
+        #: agg_id -> list of partition dicts (key -> accumulator cells)
+        self.aggs: dict[int, list[dict]] = {}
+        #: slot-local output rows
+        self.rows: list[tuple] = []
+
+
+@dataclass
+class BreakerMergeStats:
+    """Per-pipeline metrics of one partial-merge phase.
+
+    ``partitions`` is the hash-partition count of the pipeline's breaker --
+    0 for output pipelines (their partials are unpartitioned row buffers)
+    and on the single-table fallback path (no partials exist at all).
+    """
+
+    partitions: int = 0
+    #: Total entries across all worker partials before the merge (groups /
+    #: distinct join keys per partial, output rows for output pipelines).
+    partial_entries: int = 0
+    merge_seconds: float = 0.0
+
+
 class QueryState:
     """All mutable state of one query execution."""
 
     def __init__(self, plan: PhysicalPlan):
         self.plan = plan
-        #: join_id -> hash table (key -> list of payload tuples)
-        self.hash_tables: dict[int, dict] = {}
-        #: agg_id -> aggregation hash table (key -> list of accumulator cells)
-        self.agg_tables: dict[int, dict] = {}
-        #: agg_id -> lock protecting read-modify-write accumulator updates
-        self.agg_locks: dict[int, threading.Lock] = {}
+        #: join_id -> sealed partition tables (list of key -> payload-list
+        #: dicts).  The *list* identity is stable for the lifetime of the
+        #: state -- generated probe code captures it -- while the partition
+        #: dicts inside are rebuilt by :meth:`configure_breakers`.
+        self.join_partitions: dict[int, list[dict]] = {}
+        #: agg_id -> sealed partition tables (list of key -> cells dicts)
+        self.agg_partitions: dict[int, list[dict]] = {}
         #: agg_id -> materialised intermediate columns (lists, pre-created so
         #: that generated code can hold stable pointers to them)
         self.intermediate_columns: dict[int, list[list]] = {}
@@ -56,32 +184,81 @@ class QueryState:
         #: over it), so it is updated in place via :meth:`set_params` and
         #: deliberately survives :meth:`reset`.
         self.params: list = [None] * len(getattr(plan, "parameters", ()))
+        #: Whether workers accumulate into per-slot partials (the default)
+        #: or write the sealed tables directly (the single-table fallback).
+        self.use_partitioned = True
+        self._partition_count = 1
+        #: Single lock guarding aggregate read-modify-writes on the fallback
+        #: path only; the partitioned hot path never touches it.
+        self._fallback_lock = threading.Lock()
+        #: Number of fallback-lock acquisitions of the current execution
+        #: (always 0 for partitioned executions -- asserted by the
+        #: pipeline-breaker benchmark).
+        self.lock_acquisitions = 0
 
         for pipeline in plan.pipelines:
             sink = pipeline.sink
             if isinstance(sink, HashBuildSink):
-                self.hash_tables[sink.join_id] = {}
+                self.join_partitions[sink.join_id] = [{}]
             elif isinstance(sink, AggregateSink):
-                self.agg_tables[sink.agg_id] = {}
-                self.agg_locks[sink.agg_id] = threading.Lock()
+                self.agg_partitions[sink.agg_id] = [{}]
                 self.intermediate_columns[sink.agg_id] = [
                     [] for _ in sink.intermediate.columns]
                 self.intermediate_rows[sink.agg_id] = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def partition_count(self) -> int:
+        """Current number of breaker partitions (a power of two)."""
+        return self._partition_count
+
+    def configure_breakers(self, partitions: Optional[int] = None,
+                           use_partitioned: bool = True) -> None:
+        """Set this execution's breaker layout (before any pipeline runs).
+
+        ``partitions`` is rounded up to a power of two (the partition index
+        is ``hash(key) & (count - 1)``).  ``use_partitioned=False`` selects
+        the single-table fallback, which forces one partition.  The sealed
+        partition *lists* keep their identity (generated code captured
+        them); only their contents are replaced.
+        """
+        count = 1 if not use_partitioned else round_up_pow2(partitions or 1)
+        self.use_partitioned = use_partitioned
+        self.lock_acquisitions = 0
+        if count != self._partition_count:
+            self._partition_count = count
+            for parts in self.join_partitions.values():
+                parts[:] = [{} for _ in range(count)]
+            for parts in self.agg_partitions.values():
+                parts[:] = [{} for _ in range(count)]
+
+    def new_context(self, pipeline: Pipeline) -> WorkerContext:
+        """A fresh worker context with partials for ``pipeline``'s sink."""
+        context = WorkerContext()
+        sink = pipeline.sink
+        count = self._partition_count
+        if isinstance(sink, HashBuildSink):
+            context.joins[sink.join_id] = [{} for _ in range(count)]
+        elif isinstance(sink, AggregateSink):
+            context.aggs[sink.agg_id] = [{} for _ in range(count)]
+        return context
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
         """Clear all per-execution state in place for a fresh execution.
 
         Generated code and the runtime closures hold direct references to
-        these containers (join hash tables, aggregation tables, intermediate
-        column lists, the output row list), so the containers are cleared
-        rather than replaced: object identity must survive a reset for a
+        these containers (the sealed partition lists, intermediate column
+        lists, the output row list), so the containers are cleared rather
+        than replaced: object identity must survive a reset for a
         cached/prepared query to stay executable.
         """
-        for table in self.hash_tables.values():
-            table.clear()
-        for table in self.agg_tables.values():
-            table.clear()
+        for parts in self.join_partitions.values():
+            for table in parts:
+                table.clear()
+        for parts in self.agg_partitions.values():
+            for table in parts:
+                table.clear()
         for columns in self.intermediate_columns.values():
             for column in columns:
                 column.clear()
@@ -118,6 +295,105 @@ def _agg_id_of_intermediate(plan: PhysicalPlan,
 
 
 # --------------------------------------------------------------------------- #
+# per-pipeline breaker lifecycle (used by every executor)
+# --------------------------------------------------------------------------- #
+class BreakerRun:
+    """Carries one pipeline run's per-slot worker contexts.
+
+    Executors call :meth:`context` with the dense worker-slot id of each
+    morsel (slots are exclusive, so the lazy creation is race-free) and
+    :meth:`merge` once after the last morsel.  With the partitioned path
+    disabled every slot gets ``None`` and the merge is a no-op -- workers
+    wrote the sealed tables directly.
+    """
+
+    def __init__(self, state: QueryState, pipeline: Pipeline,
+                 max_slots: int):
+        self.state = state
+        self.pipeline = pipeline
+        self.contexts: list[Optional[WorkerContext]] = \
+            [None] * max(int(max_slots), 1)
+
+    def context(self, slot: int) -> Optional[WorkerContext]:
+        if not self.state.use_partitioned:
+            return None
+        context = self.contexts[slot]
+        if context is None:
+            context = self.state.new_context(self.pipeline)
+            self.contexts[slot] = context
+        return context
+
+    def merge(self, run_tasks: Optional[Callable[[list], None]] = None
+              ) -> BreakerMergeStats:
+        return merge_breaker_partials(self.state, self.pipeline,
+                                      self.contexts, run_tasks)
+
+
+def merge_breaker_partials(state: QueryState, pipeline: Pipeline,
+                           contexts: Sequence[Optional[WorkerContext]],
+                           run_tasks: Optional[Callable[[list], None]] = None
+                           ) -> BreakerMergeStats:
+    """Merge per-worker partials into the state's sealed partition tables.
+
+    ``run_tasks`` executes the per-partition merge thunks (each touches
+    exactly one partition, so they are mutually independent); ``None`` runs
+    them serially on the calling thread.  Output pipelines concatenate the
+    slot-local row buffers in slot order on the calling thread (order is
+    the workers' morsel interleaving either way).
+    """
+    stats = BreakerMergeStats()
+    live = [context for context in contexts if context is not None]
+    sink = pipeline.sink
+    if state.use_partitioned and isinstance(sink,
+                                            (HashBuildSink, AggregateSink)):
+        stats.partitions = state.partition_count
+    start = time.perf_counter()
+
+    if isinstance(sink, OutputSink):
+        for context in live:
+            stats.partial_entries += len(context.rows)
+            state.output_rows.extend(context.rows)
+            context.rows = []
+    elif isinstance(sink, HashBuildSink) and live:
+        partials = [context.joins[sink.join_id] for context in live]
+        stats.partial_entries = sum(len(part) for parts in partials
+                                    for part in parts)
+        targets = state.join_partitions[sink.join_id]
+        tasks = [
+            (lambda p=p: merge_join_partition(
+                targets[p], [parts[p] for parts in partials]))
+            for p in range(len(targets))]
+        if run_tasks is None:
+            for task in tasks:
+                task()
+        else:
+            run_tasks(tasks)
+    elif isinstance(sink, AggregateSink) and live:
+        partials = [context.aggs[sink.agg_id] for context in live]
+        stats.partial_entries = sum(len(part) for parts in partials
+                                    for part in parts)
+        targets = state.agg_partitions[sink.agg_id]
+        specs = list(sink.aggregates)
+        tasks = [
+            (lambda p=p: merge_agg_partition(
+                specs, targets[p], [parts[p] for parts in partials]))
+            for p in range(len(targets))]
+        if run_tasks is None:
+            for task in tasks:
+                task()
+        else:
+            run_tasks(tasks)
+
+    stats.merge_seconds = time.perf_counter() - start
+    return stats
+
+
+def group_sort_key(key):
+    """Deterministic ordering key for GROUP BY keys (scalar or tuple)."""
+    return key
+
+
+# --------------------------------------------------------------------------- #
 # runtime function factories (captured by generated code as extern bindings)
 # --------------------------------------------------------------------------- #
 class QueryRuntime:
@@ -129,37 +405,47 @@ class QueryRuntime:
     # ---- hash joins ----------------------------------------------------- #
     def make_build_insert(self, join_id: int, num_keys: int,
                           num_payload: int) -> Callable:
-        """Closure inserting (key, payload) into the join hash table."""
-        table = self.state.hash_tables[join_id]
+        """Closure inserting (key, payload) into the join partials.
+
+        ``ctx`` is the worker's :class:`WorkerContext` (partitioned path) or
+        ``None`` (single-table fallback: insert straight into the sealed
+        partitions -- ``dict.setdefault`` / ``list.append`` are atomic under
+        the GIL, which is all the old shared-dict path relied on).
+        """
+        sealed = self.state.join_partitions[join_id]
+
+        def insert_key(ctx, key, payload):
+            parts = sealed if ctx is None else ctx.joins[join_id]
+            part = parts[hash(key) & (len(parts) - 1)]
+            bucket = part.get(key)
+            if bucket is None:
+                bucket = part.setdefault(key, [])
+            bucket.append(payload)
 
         if num_keys == 1:
-            def insert(key, *payload):
-                bucket = table.get(key)
-                if bucket is None:
-                    bucket = table.setdefault(key, [])
-                bucket.append(payload)
+            def insert(ctx, key, *payload):
+                insert_key(ctx, key, payload)
         else:
-            def insert(*values):
-                key = values[:num_keys]
-                payload = values[num_keys:]
-                bucket = table.get(key)
-                if bucket is None:
-                    bucket = table.setdefault(key, [])
-                bucket.append(payload)
+            def insert(ctx, *values):
+                insert_key(ctx, values[:num_keys], values[num_keys:])
         insert.__name__ = f"rt_build_insert_{join_id}"
         return insert
 
     def make_probe(self, join_id: int, num_keys: int) -> Callable:
-        """Closure returning the list of matching payload tuples (or [])."""
-        table = self.state.hash_tables[join_id]
+        """Closure returning the list of matching payload tuples (or []).
+
+        Reads the sealed partition tables; probe pipelines only run after
+        the build pipeline's merge phase, so no synchronisation is needed.
+        """
+        parts = self.state.join_partitions[join_id]
         empty: list = []
 
         if num_keys == 1:
             def probe(key):
-                return table.get(key, empty)
+                return parts[hash(key) & (len(parts) - 1)].get(key, empty)
         else:
             def probe(*key):
-                return table.get(key, empty)
+                return parts[hash(key) & (len(parts) - 1)].get(key, empty)
         probe.__name__ = f"rt_probe_{join_id}"
         return probe
 
@@ -176,14 +462,18 @@ class QueryRuntime:
 
     # ---- aggregation ----------------------------------------------------- #
     def make_agg_update(self, sink: AggregateSink) -> Callable:
-        """Closure folding one row into the aggregation hash table.
+        """Closure folding one row into the worker's aggregation partials.
 
         The accumulator layout per group is one cell per aggregate; AVG uses
-        a ``[sum, count]`` pair.  The update is guarded by a lock because the
-        read-modify-write is not atomic under concurrent worker threads.
+        a ``[sum, count]`` pair.  With a worker context the read-modify-write
+        touches only slot-private partials and needs no lock; the ``None``
+        fallback updates the sealed tables under the state's single counted
+        fallback lock.
         """
-        table = self.state.agg_tables[sink.agg_id]
-        lock = self.state.agg_locks[sink.agg_id]
+        state = self.state
+        sealed = state.agg_partitions[sink.agg_id]
+        fallback_lock = state._fallback_lock
+        agg_id = sink.agg_id
         num_groups = len(sink.group_by)
         specs = list(sink.aggregates)
         arg_positions: list[Optional[int]] = []
@@ -195,50 +485,52 @@ class QueryRuntime:
                 arg_positions.append(next_arg)
                 next_arg += 1
 
-        def initial_cells():
-            cells = []
-            for spec in specs:
-                if spec.function == "count":
-                    cells.append(0)
-                elif spec.function == "avg":
-                    cells.append([0.0, 0])
-                elif spec.function in ("min", "max"):
-                    cells.append(None)
-                else:  # sum
-                    cells.append(0 if spec.result_type is SQLType.INT64
-                                 else 0.0)
-            return cells
+        def make_initial():
+            return initial_cells(specs)
 
-        def update(*values):
+        def apply(cells, args):
+            for index, spec in enumerate(specs):
+                position = arg_positions[index]
+                if spec.function == "count":
+                    cells[index] += 1
+                    continue
+                value = args[position]
+                if spec.function == "sum":
+                    cells[index] += value
+                elif spec.function == "avg":
+                    pair = cells[index]
+                    pair[0] += value
+                    pair[1] += 1
+                elif spec.function == "min":
+                    current = cells[index]
+                    if current is None or value < current:
+                        cells[index] = value
+                elif spec.function == "max":
+                    current = cells[index]
+                    if current is None or value > current:
+                        cells[index] = value
+
+        def update(ctx, *values):
             if num_groups == 1:
                 key = values[0]
             else:
                 key = values[:num_groups]
             args = values[num_groups:]
-            with lock:
-                cells = table.get(key)
+            if ctx is not None:
+                parts = ctx.aggs[agg_id]
+                part = parts[hash(key) & (len(parts) - 1)]
+                cells = part.get(key)
                 if cells is None:
-                    cells = table.setdefault(key, initial_cells())
-                for index, spec in enumerate(specs):
-                    position = arg_positions[index]
-                    if spec.function == "count":
-                        cells[index] += 1
-                        continue
-                    value = args[position]
-                    if spec.function == "sum":
-                        cells[index] += value
-                    elif spec.function == "avg":
-                        pair = cells[index]
-                        pair[0] += value
-                        pair[1] += 1
-                    elif spec.function == "min":
-                        current = cells[index]
-                        if current is None or value < current:
-                            cells[index] = value
-                    elif spec.function == "max":
-                        current = cells[index]
-                        if current is None or value > current:
-                            cells[index] = value
+                    cells = part.setdefault(key, make_initial())
+                apply(cells, args)
+                return
+            with fallback_lock:
+                state.lock_acquisitions += 1
+                part = sealed[hash(key) & (len(sealed) - 1)]
+                cells = part.get(key)
+                if cells is None:
+                    cells = part.setdefault(key, make_initial())
+                apply(cells, args)
         update.__name__ = f"rt_agg_update_{sink.agg_id}"
         return update
 
@@ -246,16 +538,22 @@ class QueryRuntime:
         """Materialise the aggregation result into the intermediate columns.
 
         Runs single-threaded in the pipeline's finish step (the equivalent of
-        HyPer's pipeline post-processing in runtime code).  Returns the number
-        of result groups.
+        HyPer's pipeline post-processing in runtime code), after the merge
+        phase sealed the partition tables.  Groups are emitted in ascending
+        group-key order, so unordered GROUP BY results are deterministic
+        across execution modes, worker counts and partition counts (the old
+        dict-insertion order depended on all three; NaN group keys are the
+        exception -- they sort arbitrarily and group by object identity).
+        Returns the number of result groups.
         """
-        table = self.state.agg_tables[sink.agg_id]
+        parts = self.state.agg_partitions[sink.agg_id]
         columns = self.state.intermediate_columns[sink.agg_id]
         for column in columns:
             column.clear()
         num_groups = len(sink.group_by)
+        total = sum(len(part) for part in parts)
 
-        if not table and num_groups == 0:
+        if total == 0 and num_groups == 0:
             # SQL scalar aggregates produce exactly one row on empty input.
             cells = []
             for spec in sink.aggregates:
@@ -270,7 +568,13 @@ class QueryRuntime:
             self.state.intermediate_rows[sink.agg_id] = 1
             return 1
 
-        for key, cells in table.items():
+        items = []
+        for part in parts:
+            items.extend(part.items())
+        if num_groups:
+            items.sort(key=lambda item: group_sort_key(item[0]))
+
+        for key, cells in items:
             if num_groups == 1:
                 columns[0].append(key)
             else:
@@ -279,20 +583,23 @@ class QueryRuntime:
             for j, spec in enumerate(sink.aggregates):
                 cell = cells[j]
                 if spec.function == "avg":
-                    total, count = cell
-                    cell = total / count if count else 0.0
+                    sum_value, count = cell
+                    cell = sum_value / count if count else 0.0
                 elif spec.function in ("min", "max") and cell is None:
                     cell = 0
                 columns[num_groups + j].append(cell)
-        self.state.intermediate_rows[sink.agg_id] = len(table)
-        return len(table)
+        self.state.intermediate_rows[sink.agg_id] = total
+        return total
 
     # ---- output ----------------------------------------------------------- #
     def make_emit(self, sink: OutputSink) -> Callable:
         rows = self.state.output_rows
 
-        def emit(*values):
-            rows.append(values)
+        def emit(ctx, *values):
+            if ctx is None:
+                rows.append(values)
+            else:
+                ctx.rows.append(values)
         emit.__name__ = "rt_emit_row"
         return emit
 

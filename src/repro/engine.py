@@ -59,7 +59,7 @@ from .sqlparser import parse
 from .types import SQLType, decode_internal_value
 from .vm import IRInterpreter, VirtualMachine, translate_function
 from .backend import compile_function
-from .codegen.runtime import strip_sort_keys
+from .codegen.runtime import BreakerRun, round_up_pow2, strip_sort_keys
 
 #: Execution modes backed by the compiled-query engine.
 ENGINE_MODES = ("ir-interp", "bytecode", "unoptimized", "optimized",
@@ -99,6 +99,14 @@ class PhaseTimings:
     #: table-scan pipelines of the execution (not part of :attr:`total`).
     chunks_pruned: int = 0
     chunks_scanned: int = 0
+    #: Pipeline-breaker metrics: hash partitions per breaker, total partial
+    #: entries across worker contexts before merging, wall-clock seconds of
+    #: the merge phases (part of :attr:`execution`, broken out here) and
+    #: fallback-lock acquisitions (0 whenever the partitioned path ran).
+    breaker_partitions: int = 0
+    breaker_partials: int = 0
+    breaker_merge: float = 0.0
+    breaker_locks: int = 0
 
     @property
     def planning(self) -> float:
@@ -126,6 +134,14 @@ class PipelineExecution:
     seconds: float
     mode_history: list[str] = field(default_factory=list)
     ir_instructions: int = 0
+    #: Breaker metrics of this pipeline.  ``breaker_partitions`` is the
+    #: hash-partition count of a partitioned join-build/aggregate breaker
+    #: (0 for output pipelines and on the single-table fallback path);
+    #: ``breaker_partial_entries`` counts entries across all worker
+    #: partials before the merge (buffered rows for output pipelines).
+    breaker_partitions: int = 0
+    breaker_partial_entries: int = 0
+    merge_seconds: float = 0.0
 
 
 @dataclass
@@ -146,12 +162,16 @@ class QueryResult:
 
     @property
     def stats(self) -> dict:
-        """Execution statistics of this query (zone-map pruning counters)."""
+        """Execution statistics of this query (pruning + breaker counters)."""
         return {
             "mode": self.mode,
             "cached": self.cached,
             "chunks_pruned": self.timings.chunks_pruned,
             "chunks_scanned": self.timings.chunks_scanned,
+            "breaker_partitions": self.timings.breaker_partitions,
+            "breaker_partial_entries": self.timings.breaker_partials,
+            "breaker_merge_seconds": self.timings.breaker_merge,
+            "breaker_lock_acquisitions": self.timings.breaker_locks,
         }
 
     def decoded_rows(self) -> list[tuple]:
@@ -471,7 +491,7 @@ class Database:
         self._validate_mode(sql, opts.mode, opts.threads, opts.collect_trace)
         if opts.mode in BASELINE_MODES:
             return self._execute_baseline(sql, opts.mode, params,
-                                          use_pruning=opts.use_pruning)
+                                          options=opts)
 
         exec_sql, exec_params, hints = sql, params, None
         use_cache_now = opts.use_cache and self.plan_cache.capacity > 0
@@ -496,6 +516,12 @@ class Database:
         return prepared.execute(options=opts, params=exec_params)
 
     # ------------------------------------------------------------------ #
+    def breaker_partitions_for(self, options: ExecOptions) -> int:
+        """Resolve the breaker partition count of one execution."""
+        if options.breaker_partitions is not None:
+            return round_up_pow2(options.breaker_partitions)
+        return round_up_pow2(self._workers)
+
     def _execute_static(self, generated: GeneratedQuery,
                         planning: PlanningResult, timings: PhaseTimings,
                         mode: str, tiers: Optional[dict] = None,
@@ -515,22 +541,31 @@ class Database:
             timings.chunks_pruned += scan.chunks_pruned
             timings.chunks_scanned += scan.chunks_scanned
             rows = scan.rows_to_scan
+            breaker = BreakerRun(state, pipeline.pipeline, max_slots=1)
             start = time.perf_counter()
             morsels = 0
             for range_begin, range_end in scan.ranges:
                 # Morsels stay within one chunk-aligned surviving range.
                 for begin in range(range_begin, range_end, self.morsel_size):
                     end = min(begin + self.morsel_size, range_end)
-                    executable(None, begin, end)
+                    executable(breaker.context(0), begin, end)
                     morsels += 1
+            merge_stats = breaker.merge()
             if pipeline.finish is not None:
                 pipeline.finish()
             elapsed = time.perf_counter() - start
             timings.execution += elapsed
+            timings.breaker_partitions = max(timings.breaker_partitions,
+                                             merge_stats.partitions)
+            timings.breaker_partials += merge_stats.partial_entries
+            timings.breaker_merge += merge_stats.merge_seconds
             pipeline_stats.append(PipelineExecution(
                 name=pipeline.name, rows=rows, morsels=morsels,
                 seconds=elapsed, mode_history=[mode],
-                ir_instructions=pipeline.function.instruction_count()))
+                ir_instructions=pipeline.function.instruction_count(),
+                breaker_partitions=merge_stats.partitions,
+                breaker_partial_entries=merge_stats.partial_entries,
+                merge_seconds=merge_stats.merge_seconds))
 
         return self._assemble_result(generated, planning, timings, mode,
                                      pipeline_stats)
@@ -583,6 +618,7 @@ class Database:
         runtime = generated.runtime
         rows = runtime.finish_output(sink)
         rows = strip_sort_keys(rows, sink)
+        timings.breaker_locks += generated.state.lock_acquisitions
         column_names = [name for name, _ in planning.physical.output_columns]
         column_types = [sql_type for _, sql_type
                         in planning.physical.output_columns]
@@ -597,22 +633,32 @@ class Database:
             trace=trace)
 
     # ------------------------------------------------------------------ #
-    def _execute_baseline(self, sql: str, mode: str,
-                          params=None, use_pruning: bool = True
+    def _execute_baseline(self, sql: str, mode: str, params=None,
+                          options: Optional[ExecOptions] = None
                           ) -> QueryResult:
         from .baselines import VectorizedEngine, VolcanoEngine
 
+        opts = options if options is not None else ExecOptions(mode=mode)
         bound, planning, timings = self.prepare(sql)
         values = bind_parameter_values(bound.parameters, params)
-        engine = (VolcanoEngine(self.catalog, use_pruning=use_pruning)
-                  if mode == "volcano"
-                  else VectorizedEngine(self.catalog,
-                                        use_pruning=use_pruning))
+        if mode == "volcano":
+            engine = VolcanoEngine(
+                self.catalog, use_pruning=opts.use_pruning,
+                breaker_partitions=self.breaker_partitions_for(opts),
+                use_partitioned_breakers=opts.use_partitioned_breakers)
+        else:
+            engine = VectorizedEngine(self.catalog,
+                                      use_pruning=opts.use_pruning)
         start = time.perf_counter()
         rows = engine.execute(planning.physical, values)
         timings.execution = time.perf_counter() - start
         timings.chunks_pruned = engine.chunks_pruned
         timings.chunks_scanned = engine.chunks_scanned
+        timings.breaker_partitions = getattr(engine, "breaker_partitions_used",
+                                             0)
+        timings.breaker_partials = getattr(engine, "breaker_partial_entries",
+                                           0)
+        timings.breaker_merge = getattr(engine, "breaker_merge_seconds", 0.0)
         column_names = [name for name, _ in planning.physical.output_columns]
         column_types = [sql_type for _, sql_type
                         in planning.physical.output_columns]

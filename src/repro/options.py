@@ -41,6 +41,15 @@ class ExecOptions:
     #: (the escape hatch for measuring pruning and for debugging); results
     #: are identical either way.
     use_pruning: bool = True
+    #: Number of hash partitions per pipeline breaker (join build /
+    #: aggregation).  ``None`` uses the database's worker count rounded up
+    #: to a power of two; explicit values are rounded up likewise.
+    breaker_partitions: Optional[int] = None
+    #: ``False`` disables per-worker breaker partials and restores the
+    #: historical single-table path (one shared hash table per breaker,
+    #: aggregate updates guarded by a counted fallback lock); results are
+    #: identical either way.
+    use_partitioned_breakers: bool = True
 
     @classmethod
     def resolve(cls, options: Optional["ExecOptions"] = None,
@@ -102,3 +111,11 @@ class OptionsAccessors:
     @property
     def use_pruning(self) -> bool:
         return self.options.use_pruning
+
+    @property
+    def breaker_partitions(self) -> Optional[int]:
+        return self.options.breaker_partitions
+
+    @property
+    def use_partitioned_breakers(self) -> bool:
+        return self.options.use_partitioned_breakers

@@ -189,6 +189,12 @@ class PreparedQuery:
         self.generated.reset_for_execution()
         self.generated.state.set_params(values)
         database = self.database
+        # Install this execution's breaker layout (the same cached artifacts
+        # serve any partition count: generated code reads the partition
+        # lists by identity and sizes masks per call).
+        self.generated.state.configure_breakers(
+            partitions=database.breaker_partitions_for(opts),
+            use_partitioned=opts.use_partitioned_breakers)
 
         if mode == "adaptive":
             executor = AdaptiveExecutor(

@@ -222,3 +222,59 @@ def test_vectorized_scans_race_concurrent_inserts():
     final = db.execute("select count(*) from ledger", use_cache=False)
     assert final.rows == [(4000 + 60 * 25,)]
     db.close()
+
+
+def test_concurrent_partitioned_aggregations_share_pool():
+    """Many aggregating queries at once, all drawing morsel workers *and*
+    per-partition merge tasks from one shared pool.
+
+    Every execution accumulates into per-worker-slot partials (no shared
+    lock on the aggregation hot path -- asserted via the fallback-lock
+    counter), merges on the pool, and must return the exact single-threaded
+    result; the unpartitioned escape hatch runs interleaved to prove both
+    layouts coexist on one cached plan.
+    """
+    from repro.options import ExecOptions
+
+    db = Database(morsel_size=256, workers=4)
+    db.create_table("sales", [("region", SQLType.INT64),
+                              ("item", SQLType.INT64),
+                              ("amount", SQLType.FLOAT64)])
+    db.insert("sales", [(i % 5, i % 11, float(i % 97))
+                        for i in range(12000)])
+    sql = ("select region, count(*), sum(amount), min(amount), max(amount) "
+           "from sales group by region")
+    expected = db.execute(sql, mode="optimized", threads=1,
+                          use_cache=False).rows
+    assert expected == sorted(expected)  # deterministic finalize order
+
+    errors: list[BaseException] = []
+
+    def client(index: int) -> None:
+        try:
+            for run in range(6):
+                if (index + run) % 3 == 0:
+                    options = ExecOptions(mode="adaptive", threads=4)
+                elif (index + run) % 3 == 1:
+                    options = ExecOptions(mode="bytecode", threads=4,
+                                          breaker_partitions=2)
+                else:
+                    options = ExecOptions(mode="optimized", threads=4,
+                                          use_partitioned_breakers=False)
+                result = db.execute(sql, options=options)
+                assert result.rows == expected, options
+                if options.use_partitioned_breakers:
+                    assert result.stats["breaker_lock_acquisitions"] == 0
+                ticket = db.submit(sql, options=options)
+                assert ticket.result().rows == expected
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "aggregation stress hung"
+    assert not errors, errors[:3]
+    db.close()
