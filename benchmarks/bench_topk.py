@@ -1,0 +1,183 @@
+"""Top-k output breaker: bounded heaps vs sort-then-slice, lock-free.
+
+Three properties of the ORDER BY + LIMIT refactor are asserted here:
+
+1. **>= 5x vectorized top-k throughput.**  The column engine used to
+   materialise every output row as a Python tuple, sort all of them and
+   slice; the batch preselection lexsorts the key *vectors*, keeps the
+   ``limit`` candidate rows (plus boundary ties) and only materialises
+   those.  Both paths still exist (``use_topk_breaker=False`` is the
+   reference), so the speedup is measured old-vs-new on identical plans
+   and data: LIMIT 100 over a million-row table.
+
+2. **Zero lock acquisitions on the compiled engines' top-k hot path.**
+   A 4-worker parallel ORDER BY + LIMIT accumulates into per-worker-slot
+   bounded heaps (one ``heapq`` per slot, merged once at the end); the
+   partitioned run must report exactly 0 breaker lock acquisitions.
+
+3. **Bounded partials.**  The merged heap entries never exceed
+   ``workers x limit`` rows -- the breaker never materialises the input.
+
+Run as a script (CI smoke, tiny scale): ``python benchmarks/bench_topk.py``
+Run under pytest for the benchmark fixture: ``pytest benchmarks/bench_topk.py``
+Environment: ``REPRO_BENCH_TINY=1`` shrinks the table, ``REPRO_BENCH_FULL=1`` grows it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for _path in (os.path.join(os.path.dirname(_HERE), "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro import Database, SQLType  # noqa: E402
+from repro.options import ExecOptions  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+ROWS = 120_000 if TINY else (2_000_000 if FULL else 1_000_000)
+LIMIT = 100
+REPEATS = 3
+WORKERS = 4
+
+TOPK_SQL = (f"select ts, device, reading from events "
+            f"order by reading desc, ts limit {LIMIT}")
+
+
+def build_database() -> Database:
+    db = Database(morsel_size=4096, workers=WORKERS)
+    db.create_table("events", [("ts", SQLType.INT64),
+                               ("device", SQLType.INT64),
+                               ("reading", SQLType.FLOAT64)])
+    db.insert("events", [(i, i % 97, float((i * 7919) % 100_003))
+                         for i in range(ROWS)], encode=False)
+    return db
+
+
+# --------------------------------------------------------------------------- #
+# part 1: vectorized batch top-k vs sort-then-slice
+# --------------------------------------------------------------------------- #
+def measure_vectorized_topk(db: Database) -> dict:
+    breaker = ExecOptions(mode="vectorized")
+    reference = ExecOptions(mode="vectorized", use_topk_breaker=False)
+    fast = db.execute(TOPK_SQL, options=breaker)        # warm plan cache
+    slow = db.execute(TOPK_SQL, options=reference)
+    assert fast.rows == slow.rows
+    assert len(fast.rows) == LIMIT
+
+    def timed(options) -> float:
+        best = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            db.execute(TOPK_SQL, options=options)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    slice_seconds = timed(reference)
+    topk_seconds = timed(breaker)
+    return {
+        "rows": ROWS,
+        "slice_seconds": slice_seconds,
+        "topk_seconds": topk_seconds,
+        "speedup": slice_seconds / max(topk_seconds, 1e-12),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# part 2: lock-free bounded heaps in the compiled engines
+# --------------------------------------------------------------------------- #
+def measure_parallel_heaps(db: Database) -> dict:
+    partitioned = ExecOptions(mode="bytecode", threads=WORKERS)
+    single_table = ExecOptions(mode="bytecode", threads=WORKERS,
+                               use_partitioned_breakers=False)
+    heap = db.execute(TOPK_SQL, options=partitioned)     # warm tiers/cache
+    fallback = db.execute(TOPK_SQL, options=single_table)
+    slice_run = db.execute(
+        TOPK_SQL, options=ExecOptions(mode="bytecode", threads=WORKERS,
+                                      use_topk_breaker=False))
+    assert heap.rows == fallback.rows == slice_run.rows
+    return {
+        "locks_partitioned": heap.stats["breaker_lock_acquisitions"],
+        "locks_single_table": fallback.stats["breaker_lock_acquisitions"],
+        "partial_entries": heap.stats["breaker_partial_entries"],
+        "partial_bound": WORKERS * LIMIT,
+    }
+
+
+def run_benchmark(report=print) -> dict:
+    from conftest import fmt_ms, print_table
+
+    db = build_database()
+    try:
+        topk = measure_vectorized_topk(db)
+        heaps = measure_parallel_heaps(db)
+        print_table(
+            f"Vectorized ORDER BY + LIMIT {LIMIT} ({ROWS} rows)",
+            ["finish strategy", "best ms", "speedup"],
+            [["sort-then-slice (legacy)", fmt_ms(topk["slice_seconds"]), ""],
+             ["batch top-k preselection", fmt_ms(topk["topk_seconds"]),
+              f"{topk['speedup']:.1f}x"]])
+        print_table(
+            f"Compiled top-k heaps ({ROWS} rows, {WORKERS} workers, "
+            f"bytecode tier)",
+            ["layout", "lock acquisitions", "heap entries (bound)"],
+            [["per-worker heaps (default)",
+              str(heaps["locks_partitioned"]),
+              f"{heaps['partial_entries']} (<= {heaps['partial_bound']})"],
+             ["single-heap fallback", str(heaps["locks_single_table"]),
+              "-"]])
+        report(f"batch top-k {topk['speedup']:.1f}x (>= 5x required); "
+               f"partitioned run took {heaps['locks_partitioned']} locks "
+               f"(0 required)")
+        return {"topk": topk, "heaps": heaps}
+    finally:
+        db.close()
+
+
+def _acceptance(metrics) -> bool:
+    return (metrics["topk"]["speedup"] >= 5.0
+            and metrics["heaps"]["locks_partitioned"] == 0
+            and metrics["heaps"]["partial_entries"]
+            <= metrics["heaps"]["partial_bound"])
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+def test_topk_speedup_and_lock_free_heaps():
+    metrics = run_benchmark()
+    assert metrics["topk"]["speedup"] >= 5.0, metrics["topk"]
+    assert metrics["heaps"]["locks_partitioned"] == 0, metrics["heaps"]
+    assert metrics["heaps"]["partial_entries"] <= \
+        metrics["heaps"]["partial_bound"], metrics["heaps"]
+
+
+def test_parallel_topk_latency(benchmark):
+    db = build_database()
+    try:
+        options = ExecOptions(mode="optimized", threads=WORKERS)
+        db.execute(TOPK_SQL, options=options)  # warm
+
+        def topk():
+            return db.execute(TOPK_SQL, options=options)
+
+        result = benchmark(topk)
+        assert result.stats["breaker_lock_acquisitions"] == 0
+        assert len(result.rows) == LIMIT
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":
+    metrics = run_benchmark()
+    ok = _acceptance(metrics)
+    print(f"\nbatch top-k {metrics['topk']['speedup']:.1f}x "
+          f"(>= 5x required), locks "
+          f"{metrics['heaps']['locks_partitioned']} (0 required) -- "
+          f"{'PASS' if ok else 'FAIL'}")
+    sys.exit(0 if ok else 1)

@@ -234,6 +234,8 @@ class AdaptiveExecutor:
         breaker = BreakerRun(generated.state, pipeline.pipeline,
                              max_slots=self.num_threads)
 
+        state = generated.state
+
         def run_morsel(slot: int, morsel) -> None:
             executable, mode = handle.executable()
             start = time.perf_counter()
@@ -244,6 +246,9 @@ class AdaptiveExecutor:
                                  end - query_start, "morsel",
                                  pipeline.name, mode.tier_name,
                                  morsel.size))
+            if state.limit_satisfied():
+                state.early_terminated = True
+                dispatcher.cancel()
             maybe_switch(end, slot)
 
         if rows > 0:
@@ -335,8 +340,11 @@ class StaticParallelExecutor:
                                  max_slots=self.num_threads)
             pipeline_start = time.perf_counter()
 
+            state = generated.state
+
             def run_morsel(slot: int, morsel, executable=executable,
-                           pipeline=pipeline, breaker=breaker) -> None:
+                           pipeline=pipeline, breaker=breaker,
+                           dispatcher=dispatcher) -> None:
                 start = time.perf_counter()
                 executable(breaker.context(slot), morsel.begin, morsel.end)
                 end = time.perf_counter()
@@ -344,6 +352,9 @@ class StaticParallelExecutor:
                                      end - query_start, "morsel",
                                      pipeline.name, self.mode,
                                      morsel.size))
+                if state.limit_satisfied():
+                    state.early_terminated = True
+                    dispatcher.cancel()
 
             if rows > 0:
                 if self.num_threads == 1:

@@ -99,6 +99,17 @@ class MorselDispatcher:
                                          self.growth_factor, self.max_size)
             return Morsel(begin, end)
 
+    def cancel(self) -> None:
+        """Stop dispensing: every later :meth:`next_morsel` returns ``None``.
+
+        Used by LIMIT early termination -- once enough output rows exist,
+        in-flight morsels finish normally (their extra rows are sliced away
+        by the finish step) but no new morsel is handed out.
+        """
+        with self._lock:
+            self._range_index = len(self._ranges)
+            self._remaining = 0
+
     @property
     def remaining_rows(self) -> int:
         with self._lock:

@@ -36,6 +36,7 @@ from ..plan.physical import (
     PhysicalPlan,
     TableSource,
 )
+from ..codegen.runtime import resolve_limit
 from ..plan.sargs import plan_pipeline_scan
 from ..types import SQLType
 from .expr_eval import evaluate_expression_vectorized
@@ -153,12 +154,18 @@ class VectorizedEngine:
     """Column-at-a-time execution of pipeline plans."""
 
     def __init__(self, catalog: Catalog, use_pruning: bool = True,
-                 use_batch_kernels: bool = True):
+                 use_batch_kernels: bool = True,
+                 use_topk_breaker: bool = True):
         self.catalog = catalog
         self.use_pruning = use_pruning
         #: ``False`` restores the historical row-at-a-time dict loops for
         #: join build/probe and grouping (benchmark reference path).
         self.use_batch_kernels = use_batch_kernels
+        #: ``False`` disables the batch top-k candidate preselection for
+        #: ORDER BY + LIMIT queries (sort-then-slice reference path).
+        self.use_topk_breaker = use_topk_breaker
+        #: True when a LIMIT quota truncated the output scan early.
+        self.early_terminated = False
         #: Zone-map pruning counters of the last execution.
         self.chunks_pruned = 0
         self.chunks_scanned = 0
@@ -173,6 +180,7 @@ class VectorizedEngine:
     # ------------------------------------------------------------------ #
     def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
         self._params = tuple(params)
+        self.early_terminated = False
         hash_tables: dict[int, tuple] = {}
         intermediates: dict[str, tuple[dict, int]] = {}
         output_rows: list[tuple] = []
@@ -196,7 +204,7 @@ class VectorizedEngine:
 
         if output_sink is None:
             raise ExecutionError("plan has no output pipeline")
-        return _finish_output(output_rows, output_sink)
+        return _finish_output(output_rows, output_sink, self._params)
 
     # ------------------------------------------------------------------ #
     # pipeline body: source columns + filters + probes
@@ -295,6 +303,7 @@ class VectorizedEngine:
     def _probe(self, operator: PhysHashProbe, columns, num_rows, hash_tables):
         kind, keys_or_table, payload_arrays, payload_columns = \
             hash_tables[operator.join_id]
+        probe_rows = num_rows
 
         key_vectors = [np.asarray(evaluate_expression_vectorized(
             key, columns, num_rows, self._params))
@@ -330,14 +339,51 @@ class VectorizedEngine:
                 array[build_idx] if len(build_idx) else array[:0])
         num_rows = len(probe_idx)
 
+        # Carry the probe index through the residual masks: the LEFT OUTER
+        # complement below needs to know which probe rows survived.
+        surviving = probe_idx
         for residual in operator.residual:
             if num_rows == 0:
                 break
             mask = np.asarray(evaluate_expression_vectorized(
                 residual, joined, num_rows, self._params), dtype=bool)
             joined = {key: values[mask] for key, values in joined.items()}
+            surviving = surviving[mask] if len(surviving) else surviving
             num_rows = int(mask.sum())
+
+        if operator.outer:
+            joined, num_rows = self._outer_complement(
+                columns, probe_rows, payload_columns, joined, num_rows,
+                surviving)
         return joined, num_rows
+
+    @staticmethod
+    def _outer_complement(columns, probe_rows, payload_columns, joined,
+                          num_rows, surviving):
+        """Append NULL-padded rows for probe rows no match survived for.
+
+        The combined rows are re-ordered by probe index (stable), so the
+        output interleaves matches and preserved rows exactly like the
+        tuple-at-a-time engines do.
+        """
+        unmatched = np.setdiff1d(np.arange(probe_rows, dtype=np.int64),
+                                 surviving)
+        if not len(unmatched):
+            return joined, num_rows
+        nulls = np.full(len(unmatched), None, dtype=object)
+        for key, values in columns.items():
+            tail = values[unmatched]
+            joined[key] = (np.concatenate([joined[key], tail])
+                           if num_rows else tail)
+        for column in payload_columns:
+            key = (column.binding, column.column)
+            head = np.asarray(joined[key], dtype=object)
+            joined[key] = np.concatenate([head, nulls]) if num_rows else nulls
+        all_probe = (np.concatenate([surviving, unmatched])
+                     if num_rows else unmatched)
+        order = np.argsort(all_probe, kind="stable")
+        joined = {key: values[order] for key, values in joined.items()}
+        return joined, num_rows + len(unmatched)
 
     @staticmethod
     def _match_rows(key_to_rows: dict, key_vectors, num_rows):
@@ -517,9 +563,56 @@ class VectorizedEngine:
         vectors += [np.asarray(evaluate_expression_vectorized(
             expr, columns, num_rows, self._params))
             for expr, _ in sink.order_by]
+
+        limit = resolve_limit(sink.limit, self._params)
+        if limit is not None and not sink.distinct:
+            if not sink.order_by:
+                # LIMIT without ORDER BY: any k rows satisfy the query, so
+                # truncate before the per-row materialisation loop.
+                remaining = max(limit - len(output_rows), 0)
+                if remaining < num_rows:
+                    self.early_terminated = True
+                    vectors = [vector[:remaining] for vector in vectors]
+                    num_rows = remaining
+            elif self.use_topk_breaker and 0 < limit < num_rows:
+                selected = self._topk_candidates(sink, vectors, num_rows,
+                                                 limit)
+                if selected is not None:
+                    vectors = [vector[selected] for vector in vectors]
+                    num_rows = len(selected)
+
         for row in range(num_rows):
             output_rows.append(tuple(_to_python(vector[row])
                                      for vector in vectors))
+
+    @staticmethod
+    def _topk_candidates(sink: OutputSink, vectors, num_rows, limit):
+        """Indices of a provably sufficient ORDER BY + LIMIT candidate set.
+
+        Each sort-key vector is factorised to integer ranks (exact for any
+        sortable dtype; descending keys negate the rank), the rows are
+        lexsorted on the ranks, and the candidate set is the first ``limit``
+        rows plus every row tying the boundary row on the full key tuple --
+        the final canonical sort in ``_finish_output`` resolves those ties
+        by whole-row comparison, and every row it could pick is in the set.
+        Returns ``None`` (no preselection) for NaN-bearing or object-typed
+        keys, where rank factorisation is not order-faithful.
+        """
+        width = len(sink.output)
+        keys = []
+        for offset, (_, ascending) in enumerate(sink.order_by):
+            vector = np.asarray(vectors[width + offset])
+            if vector.dtype == object or _has_nan(vector):
+                return None
+            _, codes = np.unique(vector, return_inverse=True)
+            codes = codes.astype(np.int64).reshape(-1)
+            keys.append(codes if ascending else -codes)
+        order = np.lexsort(keys[::-1])  # last lexsort key is primary
+        boundary = order[limit - 1]
+        tie = np.ones(num_rows, dtype=bool)
+        for codes in keys:
+            tie &= codes == codes[boundary]
+        return np.unique(np.concatenate([order[:limit], np.nonzero(tie)[0]]))
 
 
 def _to_python(value):

@@ -10,15 +10,19 @@ high per-tuple overhead.
 
 from __future__ import annotations
 
+import heapq
 import time
 from typing import Iterator, Optional
 
 from ..catalog import Catalog
 from ..codegen.runtime import (
+    _TopKEntry,
     group_sort_key,
     initial_cells,
+    make_sort_key_fn,
     merge_agg_partition,
     merge_join_partition,
+    resolve_limit,
     round_up_pow2,
 )
 from ..errors import ExecutionError
@@ -51,9 +55,13 @@ class VolcanoEngine:
 
     def __init__(self, catalog: Catalog, use_pruning: bool = True,
                  breaker_partitions: int = 1,
-                 use_partitioned_breakers: bool = True):
+                 use_partitioned_breakers: bool = True,
+                 use_topk_breaker: bool = True):
         self.catalog = catalog
         self.use_pruning = use_pruning
+        self.use_topk_breaker = use_topk_breaker
+        #: True when a LIMIT quota stopped the output scan early.
+        self.early_terminated = False
         self._partitions = (round_up_pow2(breaker_partitions)
                             if use_partitioned_breakers else 1)
         self.use_partitioned_breakers = use_partitioned_breakers
@@ -71,6 +79,7 @@ class VolcanoEngine:
     # ------------------------------------------------------------------ #
     def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
         self._params = tuple(params)
+        self.early_terminated = False
         hash_tables: dict[int, list[dict]] = {}
         intermediates: dict[str, list[dict]] = {}
         output_rows: list[tuple] = []
@@ -91,7 +100,7 @@ class VolcanoEngine:
 
         if output_sink is None:
             raise ExecutionError("plan has no output pipeline")
-        return _finish_output(output_rows, output_sink)
+        return _finish_output(output_rows, output_sink, self._params)
 
     # ------------------------------------------------------------------ #
     # row iteration
@@ -135,14 +144,23 @@ class VolcanoEngine:
                     key_values = tuple(evaluate_expression(k, current, self._params)
                                        for k in operator.probe_keys)
                     key = key_values[0] if len(key_values) == 1 else key_values
-                    for payload in parts[hash(key) & mask].get(key, ()):  # inner join
+                    matched = False
+                    for payload in parts[hash(key) & mask].get(key, ()):
                         combined = dict(current)
                         for column, value in zip(operator.payload_columns,
                                                  payload):
                             combined[(column.binding, column.column)] = value
                         if all(evaluate_expression(p, combined, self._params)
                                for p in operator.residual):
+                            matched = True
                             joined.append(combined)
+                    if operator.outer and not matched:
+                        # LEFT OUTER JOIN: preserve the probe row once with
+                        # NULL-padded build payloads.
+                        combined = dict(current)
+                        for column in operator.payload_columns:
+                            combined[(column.binding, column.column)] = None
+                        joined.append(combined)
                 rows = joined
             else:  # pragma: no cover - defensive
                 raise ExecutionError(
@@ -252,6 +270,13 @@ class VolcanoEngine:
     def _run_output(self, pipeline: Pipeline, sink: OutputSink,
                     hash_tables: dict, intermediates: dict,
                     output_rows: list) -> None:
+        limit = resolve_limit(sink.limit, self._params)
+        use_topk = (self.use_topk_breaker and limit is not None
+                    and bool(sink.order_by) and not sink.distinct)
+        early_limit = (limit if limit is not None and not sink.order_by
+                       and not sink.distinct else None)
+        key_fn = make_sort_key_fn(sink) if use_topk else None
+        heap: list = []
         for source_row in self._source_rows(pipeline, intermediates):
             for row in self._apply_operators(pipeline, source_row,
                                              hash_tables):
@@ -259,7 +284,25 @@ class VolcanoEngine:
                           for _, expr in sink.output]
                 keys = [evaluate_expression(expr, row, self._params)
                         for expr, _ in sink.order_by]
-                output_rows.append(tuple(values + keys))
+                full_row = tuple(values + keys)
+                if use_topk:
+                    if limit == 0:
+                        return
+                    entry = _TopKEntry(key_fn(full_row), full_row)
+                    if len(heap) < limit:
+                        heapq.heappush(heap, entry)
+                    elif entry.key < heap[0].key:
+                        heapq.heapreplace(heap, entry)
+                    continue
+                output_rows.append(full_row)
+                if early_limit is not None and len(output_rows) >= early_limit:
+                    # LIMIT without ORDER BY: any k rows satisfy the query,
+                    # so stop the scan as soon as the quota is met.
+                    self.early_terminated = True
+                    return
+        if use_topk:
+            output_rows.extend(
+                entry.row for entry in sorted(heap, key=lambda e: e.key))
 
 
 # --------------------------------------------------------------------------- #
@@ -273,8 +316,14 @@ def _empty_cell(spec):
     return 0 if spec.result_type is SQLType.INT64 else 0.0
 
 
-def _finish_output(rows: list[tuple], sink: OutputSink) -> list[tuple]:
-    """Apply DISTINCT / ORDER BY / LIMIT and strip the sort-key columns."""
+def _finish_output(rows: list[tuple], sink: OutputSink,
+                   params: tuple = ()) -> list[tuple]:
+    """Apply DISTINCT / ORDER BY / LIMIT and strip the sort-key columns.
+
+    Ordering uses the same canonical total-order key as the compiled
+    engine's finish step (:func:`make_sort_key_fn`), so tie order is
+    value-determined and identical across all engines.
+    """
     width = len(sink.output)
     if sink.distinct:
         seen = set()
@@ -285,9 +334,8 @@ def _finish_output(rows: list[tuple], sink: OutputSink) -> list[tuple]:
                 unique.append(row)
         rows = unique
     if sink.order_by:
-        for offset in range(len(sink.order_by) - 1, -1, -1):
-            _, ascending = sink.order_by[offset]
-            rows.sort(key=lambda r: r[width + offset], reverse=not ascending)
-    if sink.limit is not None:
-        rows = rows[:sink.limit]
+        rows = sorted(rows, key=make_sort_key_fn(sink))
+    limit = resolve_limit(sink.limit, params)
+    if limit is not None:
+        rows = rows[:limit]
     return [row[:width] for row in rows]

@@ -303,10 +303,25 @@ class CodeGenerator:
             QueryRuntime.match_count, pure=True)
         match_count = builder.call(count_extern, [matches], "match_count")
 
+        # LEFT OUTER JOIN with residuals: a per-probe-row flag cell records
+        # whether any match passed them (allocated fresh per row; the extern
+        # is side-effecting so no tier merges or hoists the allocation).
+        flag_cell = None
+        if probe.outer and probe.residual:
+            flag_new = self._cached_extern(
+                ("flag_new",), "rt_flag_new", [], ptr,
+                QueryRuntime.flag_new)
+            flag_cell = builder.call(flag_new, [],
+                                     f"matched{probe.join_id}")
+
         # Inner loop over the matching build-side rows.
         head = builder.new_block(f"probe{probe.join_id}.head")
         body = builder.new_block(f"probe{probe.join_id}.body")
         latch = builder.new_block(f"probe{probe.join_id}.latch")
+        # For an outer probe the loop's exhausted edge runs through an
+        # unmatched check instead of straight to ``done_label``.
+        exhausted = (builder.new_block(f"probe{probe.join_id}.exhausted")
+                     if probe.outer else None)
 
         preheader = builder.block
         builder.br(head)
@@ -314,7 +329,8 @@ class CodeGenerator:
         match_index = builder.phi(i64, f"match{probe.join_id}")
         match_index.add_incoming(Constant(i64, 0), preheader)
         has_more = builder.cmp("lt", match_index, match_count)
-        builder.condbr(has_more, body, done_label)
+        builder.condbr(has_more, body,
+                       exhausted if probe.outer else done_label)
 
         builder.set_block(body)
 
@@ -357,12 +373,50 @@ class CodeGenerator:
             passed = builder.new_block(f"probe{probe.join_id}.residual")
             builder.condbr(residual_value, passed, latch)
             builder.set_block(passed)
+            if flag_cell is not None:
+                flag_set = self._cached_extern(
+                    ("flag_set",), "rt_flag_set", [ptr], void,
+                    QueryRuntime.flag_set)
+                builder.call(flag_set, [flag_cell])
         continue_chain()
 
         builder.set_block(latch)
         next_index = builder.add(match_index, builder.const_i64(1))
         match_index.add_incoming(next_index, latch)
         builder.br(head)
+
+        if probe.outer:
+            # The match loop is exhausted: if no match survived, emit the
+            # probe row once with every build payload column NULL-padded.
+            builder.set_block(exhausted)
+            if flag_cell is not None:
+                flag_get = self._cached_extern(
+                    ("flag_get",), "rt_flag_get", [ptr], i1,
+                    QueryRuntime.flag_get)
+                matched = builder.call(flag_get, [flag_cell],
+                                       f"any_match{probe.join_id}")
+            else:
+                matched = builder.cmp("gt", match_count, Constant(i64, 0),
+                                      f"any_match{probe.join_id}")
+            unmatched = builder.new_block(f"probe{probe.join_id}.unmatched")
+            builder.condbr(matched, done_label, unmatched)
+            builder.set_block(unmatched)
+
+            def resolve_null(column: ColumnExpr) -> Value:
+                if column.binding == probe.build_binding \
+                        and column.column in payload_columns:
+                    return builder.call(
+                        self._null_extern(column.result_type), [])
+                return parent_resolver(column)
+
+            null_compiler = ExpressionCompiler(builder, compiler.error_block,
+                                               resolve_null,
+                                               self._extern_cache,
+                                               params=self.state.params)
+            self._emit_operators(builder, null_compiler, pipeline,
+                                 op_index + 1, done_label, row,
+                                 resolver_stack + [resolve_null])
+            return
 
         # Continue emitting after the loop is not needed: every downstream
         # path ends at ``done_label`` via the loop exit edge above.
@@ -439,6 +493,17 @@ class CodeGenerator:
                 runtime.finalize_aggregate(sink)
             return finish
         return None
+
+    def _null_extern(self, sql_type: SQLType) -> ExternFunction:
+        """A pure extern producing the typed NULL of one payload column.
+
+        The IR stays statically typed (one extern per IR type); at runtime
+        every tier passes the Python ``None`` through unchanged.
+        """
+        ir_type = ir_type_of(sql_type)
+        return self._cached_extern(("null", ir_type), f"rt_null_{ir_type}",
+                                   [], ir_type, QueryRuntime.null_value,
+                                   pure=True)
 
     def _cached_extern(self, key: tuple, name: str, arg_types, return_type,
                        impl, pure: bool = False) -> ExternFunction:

@@ -32,6 +32,7 @@ then guarded by one counted fallback lock).
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from dataclasses import dataclass, field
@@ -132,7 +133,7 @@ class WorkerContext:
     the slot, not to the tier that filled them.
     """
 
-    __slots__ = ("joins", "aggs", "rows")
+    __slots__ = ("joins", "aggs", "rows", "topk")
 
     def __init__(self):
         #: join_id -> list of partition dicts (key -> list of payloads)
@@ -141,6 +142,10 @@ class WorkerContext:
         self.aggs: dict[int, list[dict]] = {}
         #: slot-local output rows
         self.rows: list[tuple] = []
+        #: slot-local bounded top-k heap (:class:`_TopKEntry` min-heap whose
+        #: root is the worst kept row); used instead of ``rows`` when the
+        #: output sink runs as a top-k breaker
+        self.topk: list = []
 
 
 @dataclass
@@ -195,6 +200,24 @@ class QueryState:
         #: (always 0 for partitioned executions -- asserted by the
         #: pipeline-breaker benchmark).
         self.lock_acquisitions = 0
+        #: Top-k breaker configuration of the current execution (set by
+        #: :meth:`configure_output` after the LIMIT is resolved against the
+        #: bound parameters): ``topk_k`` is the resolved k when the output
+        #: sink runs as a bounded-heap breaker, else ``None`` (plain row
+        #: collection).  ``topk_key_fn`` maps an emitted row to its total
+        #: ordering key; ``topk_entries`` collects the merged (or, on the
+        #: fallback path, directly maintained) heap entries.
+        self.topk_k: Optional[int] = None
+        self.topk_key_fn: Optional[Callable] = None
+        self.topk_entries: list = []
+        #: LIMIT-without-ORDER-BY early termination: ``early_limit`` is the
+        #: resolved row quota, ``rows_emitted`` a racy-but-monotone counter
+        #: the executors poll between morsels (correctness comes from the
+        #: final slice, the counter only stops dispatch early), and
+        #: ``early_terminated`` records that the quota cancelled dispatch.
+        self.early_limit: Optional[int] = None
+        self.rows_emitted = 0
+        self.early_terminated = False
 
         for pipeline in plan.pipelines:
             sink = pipeline.sink
@@ -232,6 +255,31 @@ class QueryState:
             for parts in self.agg_partitions.values():
                 parts[:] = [{} for _ in range(count)]
 
+    def configure_output(self, sink: OutputSink, use_topk: bool = True
+                         ) -> None:
+        """Choose this execution's output-sink strategy (after parameters).
+
+        Must run after :meth:`set_params` -- a ``LIMIT ?`` resolves against
+        the bound values.  ORDER BY + LIMIT becomes a top-k breaker (bounded
+        per-slot heaps, unless ``use_topk`` is off); LIMIT alone arms the
+        early-termination quota.  DISTINCT disables both (deduplication
+        needs every row).
+        """
+        limit = resolve_limit(sink.limit, self.params)
+        if limit is None or sink.distinct:
+            return
+        if sink.order_by:
+            if use_topk:
+                self.topk_k = limit
+                self.topk_key_fn = make_sort_key_fn(sink)
+        else:
+            self.early_limit = limit
+
+    def limit_satisfied(self) -> bool:
+        """True once the early-termination quota is met (if armed)."""
+        return (self.early_limit is not None
+                and self.rows_emitted >= self.early_limit)
+
     def new_context(self, pipeline: Pipeline) -> WorkerContext:
         """A fresh worker context with partials for ``pipeline``'s sink."""
         context = WorkerContext()
@@ -265,6 +313,12 @@ class QueryState:
         for agg_id in self.intermediate_rows:
             self.intermediate_rows[agg_id] = 0
         self.output_rows.clear()
+        self.topk_k = None
+        self.topk_key_fn = None
+        self.topk_entries.clear()
+        self.early_limit = None
+        self.rows_emitted = 0
+        self.early_terminated = False
 
     def set_params(self, values: list) -> None:
         """Install one execution's bind-parameter values (in place)."""
@@ -350,10 +404,18 @@ def merge_breaker_partials(state: QueryState, pipeline: Pipeline,
     start = time.perf_counter()
 
     if isinstance(sink, OutputSink):
-        for context in live:
-            stats.partial_entries += len(context.rows)
-            state.output_rows.extend(context.rows)
-            context.rows = []
+        if state.topk_k is not None:
+            # Top-k breaker: concatenate the bounded slot heaps; the finish
+            # step sorts the (at most slots * k) entries and slices k.
+            for context in live:
+                stats.partial_entries += len(context.topk)
+                state.topk_entries.extend(context.topk)
+                context.topk = []
+        else:
+            for context in live:
+                stats.partial_entries += len(context.rows)
+                state.output_rows.extend(context.rows)
+                context.rows = []
     elif isinstance(sink, HashBuildSink) and live:
         partials = [context.joins[sink.join_id] for context in live]
         stats.partial_entries = sum(len(part) for parts in partials
@@ -391,6 +453,97 @@ def merge_breaker_partials(state: QueryState, pipeline: Pipeline,
 def group_sort_key(key):
     """Deterministic ordering key for GROUP BY keys (scalar or tuple)."""
     return key
+
+
+# --------------------------------------------------------------------------- #
+# ordered output: canonical sort keys, top-k heap entries, limit resolution
+# --------------------------------------------------------------------------- #
+def _canonical_cell(value):
+    """A totally ordered stand-in for one sort-cell value.
+
+    Ranks make NULL and NaN comparable to everything: normal values first,
+    then NaN, then NULL (for an ascending key).  Within rank 0 the column's
+    own values compare; a column never mixes value types.
+    """
+    if value is None:
+        return (2, 0)
+    if value != value:  # NaN
+        return (1, 0)
+    return (0, value)
+
+
+class _Desc:
+    """Inverts the ordering of one canonical cell (descending sort keys)."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell):
+        self.cell = cell
+
+    def __lt__(self, other):
+        return other.cell < self.cell
+
+    def __eq__(self, other):
+        return other.cell == self.cell
+
+
+def make_sort_key_fn(sink: OutputSink) -> Callable[[tuple], tuple]:
+    """Total-order sort key for one emitted row of ``sink``.
+
+    The ORDER BY cells (appended after the visible columns by the code
+    generator) come first; the canonicalised visible columns follow as a
+    tiebreak, so the output order is fully determined by row *values* --
+    identical across execution modes, worker counts and partition counts
+    even for duplicate sort keys -- and top-k results match sort-then-slice
+    exactly.
+    """
+    num_visible = len(sink.output)
+    directions = [ascending for _, ascending in sink.order_by]
+
+    def key_fn(row):
+        cells = []
+        for offset, ascending in enumerate(directions):
+            cell = _canonical_cell(row[num_visible + offset])
+            cells.append(cell if ascending else _Desc(cell))
+        for index in range(num_visible):
+            cells.append(_canonical_cell(row[index]))
+        return tuple(cells)
+
+    return key_fn
+
+
+class _TopKEntry:
+    """One kept row in a bounded top-k heap.
+
+    The comparison is *inverted* so that :mod:`heapq`'s min-heap root is the
+    worst kept row (the one that sorts last), which is the row a better
+    candidate must displace.
+    """
+
+    __slots__ = ("key", "row")
+
+    def __init__(self, key, row):
+        self.key = key
+        self.row = row
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+
+def resolve_limit(limit, params: Sequence) -> Optional[int]:
+    """Resolve a sink's LIMIT (``None``, int, or ParameterExpr) to an int."""
+    if limit is None or isinstance(limit, int):
+        return limit
+    index = getattr(limit, "index", None)
+    if index is None:  # pragma: no cover - planner invariant
+        raise ExecutionError(f"unsupported LIMIT value {limit!r}")
+    value = params[index]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ExecutionError(
+            f"LIMIT parameter must be an integer, got {value!r}")
+    if value < 0:
+        raise ExecutionError(f"LIMIT must not be negative, got {value}")
+    return value
 
 
 # --------------------------------------------------------------------------- #
@@ -452,6 +605,30 @@ class QueryRuntime:
     @staticmethod
     def match_count(matches) -> int:
         return len(matches)
+
+    # ---- outer-join probe support ---------------------------------------- #
+    # A LEFT OUTER JOIN probe with residual predicates needs to know, after
+    # the match loop, whether *any* match passed the residuals.  The flag
+    # lives in a tiny fresh cell per probe row (phi-based tracking is not
+    # possible: the downstream operator chain jumps back to the loop latch
+    # from arbitrary blocks).  All three helpers are side-effecting so no
+    # tier caches, hoists or reorders them.
+    @staticmethod
+    def flag_new() -> list:
+        return [0]
+
+    @staticmethod
+    def flag_set(cell) -> None:
+        cell[0] = 1
+
+    @staticmethod
+    def flag_get(cell) -> bool:
+        return cell[0] != 0
+
+    @staticmethod
+    def null_value():
+        """The NULL payload of an unmatched preserved row (any type)."""
+        return None
 
     @staticmethod
     def make_match_getter(column_index: int) -> Callable:
@@ -593,13 +770,48 @@ class QueryRuntime:
 
     # ---- output ----------------------------------------------------------- #
     def make_emit(self, sink: OutputSink) -> Callable:
-        rows = self.state.output_rows
+        """Closure collecting one output row.
+
+        The closure is created once per cached query, so the per-execution
+        strategy is read from the state: with a top-k breaker armed each row
+        goes through the slot's bounded heap (push below k, displace the
+        heap's worst row otherwise -- the hot path touches only slot-private
+        state); with an early-termination quota armed a racy monotone
+        counter lets executors stop dispatching morsels.  The ``None``
+        context fallback maintains the shared heap under the counted
+        fallback lock.
+        """
+        state = self.state
+        rows = state.output_rows
+        fallback_lock = state._fallback_lock
 
         def emit(ctx, *values):
+            k = state.topk_k
+            if k is not None:
+                if k == 0:
+                    return
+                entry = _TopKEntry(state.topk_key_fn(values), values)
+                if ctx is None:
+                    with fallback_lock:
+                        state.lock_acquisitions += 1
+                        heap = state.topk_entries
+                        if len(heap) < k:
+                            heapq.heappush(heap, entry)
+                        elif entry.key < heap[0].key:
+                            heapq.heapreplace(heap, entry)
+                    return
+                heap = ctx.topk
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif entry.key < heap[0].key:
+                    heapq.heapreplace(heap, entry)
+                return
             if ctx is None:
                 rows.append(values)
             else:
                 ctx.rows.append(values)
+            if state.early_limit is not None:
+                state.rows_emitted += 1
         emit.__name__ = "rt_emit_row"
         return emit
 
@@ -608,8 +820,14 @@ class QueryRuntime:
 
         Returns a fresh list: the collected row list is reused (and cleared)
         across executions of a prepared query, so results must never alias it.
+        With a top-k breaker armed only the merged heap entries are sorted --
+        no full materialisation ever happened.
         """
-        rows = list(self.state.output_rows)
+        state = self.state
+        if state.topk_k is not None:
+            entries = sorted(state.topk_entries, key=lambda e: e.key)
+            return [entry.row for entry in entries[:state.topk_k]]
+        rows = list(state.output_rows)
         if sink.distinct:
             seen = set()
             unique = []
@@ -620,8 +838,9 @@ class QueryRuntime:
             rows = unique
         if sink.order_by:
             rows = _sort_rows(rows, sink)
-        if sink.limit is not None:
-            rows = rows[:sink.limit]
+        limit = resolve_limit(sink.limit, state.params)
+        if limit is not None:
+            rows = rows[:limit]
         return rows
 
     # ---- scalar helpers --------------------------------------------------- #
@@ -649,20 +868,15 @@ def _sort_rows(rows: list[tuple], sink: OutputSink) -> list[tuple]:
 
     The sort keys were appended to each emitted row *after* the visible
     output columns by the code generator, so sorting never has to re-evaluate
-    expressions; the extra key columns are stripped afterwards.
+    expressions; the extra key columns are stripped afterwards.  The key
+    function includes the full-row tiebreak (see :func:`make_sort_key_fn`),
+    so the order is value-determined -- under parallel execution the rows
+    arrive in nondeterministic morsel interleaving, which a merely *stable*
+    sort would leak into tie order.
     """
-    num_visible = len(sink.output)
-    keys = sink.order_by
-    if not keys:
+    if not sink.order_by:
         return rows
-
-    # Stable sort from the least-significant key to the most significant.
-    ordered = list(rows)
-    for offset in range(len(keys) - 1, -1, -1):
-        _, ascending = keys[offset]
-        ordered.sort(key=lambda row: row[num_visible + offset],
-                     reverse=not ascending)
-    return ordered
+    return sorted(rows, key=make_sort_key_fn(sink))
 
 
 def strip_sort_keys(rows: list[tuple], sink: OutputSink) -> list[tuple]:

@@ -159,6 +159,9 @@ class QueryResult:
     #: True when this execution reused a prepared/cached plan (the parse /
     #: bind / plan / codegen phases were skipped entirely).
     cached: bool = False
+    #: True when a LIMIT-without-ORDER-BY quota cancelled morsel dispatch
+    #: before the scan was exhausted.
+    early_terminated: bool = False
 
     @property
     def stats(self) -> dict:
@@ -172,6 +175,7 @@ class QueryResult:
             "breaker_partial_entries": self.timings.breaker_partials,
             "breaker_merge_seconds": self.timings.breaker_merge,
             "breaker_lock_acquisitions": self.timings.breaker_locks,
+            "limit_early_terminated": self.early_terminated,
         }
 
     def decoded_rows(self) -> list[tuple]:
@@ -544,12 +548,19 @@ class Database:
             breaker = BreakerRun(state, pipeline.pipeline, max_slots=1)
             start = time.perf_counter()
             morsels = 0
+            stop = False
             for range_begin, range_end in scan.ranges:
                 # Morsels stay within one chunk-aligned surviving range.
                 for begin in range(range_begin, range_end, self.morsel_size):
                     end = min(begin + self.morsel_size, range_end)
                     executable(breaker.context(0), begin, end)
                     morsels += 1
+                    if state.limit_satisfied():
+                        state.early_terminated = True
+                        stop = True
+                        break
+                if stop:
+                    break
             merge_stats = breaker.merge()
             if pipeline.finish is not None:
                 pipeline.finish()
@@ -630,7 +641,8 @@ class Database:
             timings=timings,
             pipelines=pipeline_stats,
             ir_instructions=generated.instruction_count,
-            trace=trace)
+            trace=trace,
+            early_terminated=generated.state.early_terminated)
 
     # ------------------------------------------------------------------ #
     def _execute_baseline(self, sql: str, mode: str, params=None,
@@ -645,10 +657,12 @@ class Database:
             engine = VolcanoEngine(
                 self.catalog, use_pruning=opts.use_pruning,
                 breaker_partitions=self.breaker_partitions_for(opts),
-                use_partitioned_breakers=opts.use_partitioned_breakers)
+                use_partitioned_breakers=opts.use_partitioned_breakers,
+                use_topk_breaker=opts.use_topk_breaker)
         else:
             engine = VectorizedEngine(self.catalog,
-                                      use_pruning=opts.use_pruning)
+                                      use_pruning=opts.use_pruning,
+                                      use_topk_breaker=opts.use_topk_breaker)
         start = time.perf_counter()
         rows = engine.execute(planning.physical, values)
         timings.execution = time.perf_counter() - start
@@ -664,4 +678,7 @@ class Database:
                         in planning.physical.output_columns]
         return QueryResult(column_names=column_names,
                            column_types=column_types,
-                           rows=rows, mode=mode, timings=timings)
+                           rows=rows, mode=mode, timings=timings,
+                           early_terminated=getattr(engine,
+                                                    "early_terminated",
+                                                    False))

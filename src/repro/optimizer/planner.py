@@ -91,6 +91,11 @@ class _JoinStep:
     keys: list[tuple[TypedExpression, TypedExpression]]  # (probe, build)
     filters: list[TypedExpression]
     cardinality: float
+    #: LEFT OUTER JOIN step: probe rows without a match survive NULL-padded.
+    outer: bool = False
+    #: ON conjuncts that must be evaluated per candidate match (everything
+    #: of the ON clause that is neither a build-side filter nor an equi key).
+    residuals: list[TypedExpression] = field(default_factory=list)
 
 
 class Planner:
@@ -114,6 +119,10 @@ class Planner:
 
         driver, steps = self._order_joins(query, table_filters, join_edges,
                                           cardinalities)
+        # LEFT OUTER JOIN builds are excluded from the greedy ordering above
+        # (reordering them past other joins would change which rows are
+        # preserved); they attach after the inner spine, in FROM-list order.
+        steps = steps + self._outer_join_steps(query)
         logical = self._build_logical(query, driver, steps, table_filters,
                                       residuals, cardinalities)
         physical = self._decompose_pipelines(query, driver, steps,
@@ -152,11 +161,13 @@ class Planner:
     # ------------------------------------------------------------------ #
     def _order_joins(self, query: BoundQuery, table_filters, join_edges,
                      cardinalities):
-        bindings = {binding.name: binding for binding in query.bindings}
+        nullable = query.nullable_bindings
+        bindings = {binding.name: binding for binding in query.bindings
+                    if binding.name not in nullable}
         if not bindings:
             raise PlanError("query has no tables")
 
-        driver_name = max(cardinalities, key=lambda name: cardinalities[name])
+        driver_name = max(bindings, key=lambda name: cardinalities[name])
         driver = bindings[driver_name]
         placed = {driver_name}
         remaining = set(bindings) - placed
@@ -187,6 +198,49 @@ class Planner:
             remaining.discard(chosen)
         return driver, steps
 
+    def _outer_join_steps(self, query: BoundQuery) -> list[_JoinStep]:
+        """One trailing build step per LEFT OUTER JOIN, in FROM-list order.
+
+        Each ON conjunct is classified relative to the preserved/probe side:
+        conjuncts touching only the build binding become build-side scan
+        filters (a build row failing them can never match, which is
+        equivalent), equi comparisons between a build column and a probe-side
+        column become hash keys, and everything else (probe-only conjuncts
+        included -- they decide matching, not filtering) is evaluated per
+        candidate match as a probe residual.
+        """
+        bindings = {binding.name: binding for binding in query.bindings}
+        steps: list[_JoinStep] = []
+        for join in query.outer_joins:
+            build = join.binding
+            filters: list[TypedExpression] = []
+            keys: list[tuple[TypedExpression, TypedExpression]] = []
+            residuals: list[TypedExpression] = []
+            for conjunct in join.conjuncts:
+                refs = referenced_bindings(conjunct)
+                if refs <= {build}:
+                    filters.append(conjunct)
+                elif (isinstance(conjunct, ComparisonExpr)
+                        and conjunct.operator == "="
+                        and isinstance(conjunct.left, ColumnExpr)
+                        and isinstance(conjunct.right, ColumnExpr)
+                        and len(refs) == 2 and build in refs):
+                    if conjunct.right.binding == build:
+                        keys.append((conjunct.left, conjunct.right))
+                    else:
+                        keys.append((conjunct.right, conjunct.left))
+                else:
+                    residuals.append(conjunct)
+            binding = bindings[build]
+            steps.append(_JoinStep(
+                binding=binding,
+                keys=keys,
+                filters=filters,
+                cardinality=self.estimator.scan_cardinality(binding, filters),
+                outer=True,
+                residuals=residuals))
+        return steps
+
     # ------------------------------------------------------------------ #
     # step 3: logical plan
     # ------------------------------------------------------------------ #
@@ -211,9 +265,15 @@ class Planner:
                     if isinstance(build_key, ColumnExpr) else None
                 if column_stats is not None:
                     distinct = max(column_stats.num_distinct, 1)
-            running = self.estimator.join_cardinality(
+            joined = self.estimator.join_cardinality(
                 running, step.cardinality, distinct)
+            if step.outer:
+                # Every probe row survives a left join, matched or not.
+                joined = max(running, joined)
+            running = joined
             node = LogicalJoin(left=node, right=build, keys=step.keys,
+                               residual=list(step.residuals),
+                               kind="left" if step.outer else "inner",
                                cardinality=running)
         if residuals:
             node = LogicalFilter(child=node, predicates=list(residuals))
@@ -284,7 +344,9 @@ class Planner:
                 join_id=join_id,
                 probe_keys=[k[0] for k in step.keys],
                 build_binding=step.binding.name,
-                payload_columns=payload))
+                payload_columns=payload,
+                residual=list(step.residuals),
+                outer=step.outer))
 
         # ---- probe pipeline over the driver --------------------------------
         probe_operators: list = [PhysFilter(p)
@@ -416,6 +478,8 @@ class Planner:
             for probe_key, build_key in step.keys:
                 note(probe_key)
                 note(build_key)
+            for residual in step.residuals:
+                note(residual)
         return needed
 
 

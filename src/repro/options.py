@@ -50,6 +50,12 @@ class ExecOptions:
     #: aggregate updates guarded by a counted fallback lock); results are
     #: identical either way.
     use_partitioned_breakers: bool = True
+    #: ``False`` disables the top-k output breaker for ORDER BY + LIMIT
+    #: queries and restores the historical sort-then-slice finish (collect
+    #: every row, sort, cut).  The escape hatch exists for measuring the
+    #: breaker's win (benchmarks/bench_topk.py); results are identical
+    #: either way.
+    use_topk_breaker: bool = True
 
     @classmethod
     def resolve(cls, options: Optional["ExecOptions"] = None,
@@ -119,3 +125,7 @@ class OptionsAccessors:
     @property
     def use_partitioned_breakers(self) -> bool:
         return self.options.use_partitioned_breakers
+
+    @property
+    def use_topk_breaker(self) -> bool:
+        return self.options.use_topk_breaker

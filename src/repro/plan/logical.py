@@ -43,7 +43,13 @@ class LogicalScan(LogicalOperator):
 
 @dataclass
 class LogicalJoin(LogicalOperator):
-    """Inner hash join; the right child is always the build side."""
+    """Hash join; the right child is always the build side.
+
+    ``kind`` is ``"inner"`` or ``"left"`` -- for a left outer join the left
+    (probe) child is the preserved side and the residual predicates are part
+    of the join itself (a non-matching probe row survives NULL-padded rather
+    than being filtered out).
+    """
 
     left: LogicalOperator
     right: LogicalOperator
@@ -51,6 +57,7 @@ class LogicalJoin(LogicalOperator):
     keys: list[tuple[TypedExpression, TypedExpression]]
     #: Non-equi residual predicates evaluated after the join.
     residual: list[TypedExpression] = field(default_factory=list)
+    kind: str = "inner"
     cardinality: float = 0.0
 
     def children(self):
@@ -131,13 +138,16 @@ class LogicalSort(LogicalOperator):
 @dataclass
 class LogicalLimit(LogicalOperator):
     child: LogicalOperator
-    limit: int
+    #: An ``int`` or a ParameterExpr (``LIMIT ?``), unknown until execution.
+    limit: object
 
     def children(self):
         return [self.child]
 
     def estimated_rows(self) -> float:
-        return min(self.child.estimated_rows(), self.limit)
+        if isinstance(self.limit, int):
+            return min(self.child.estimated_rows(), self.limit)
+        return self.child.estimated_rows()
 
 
 def explain(operator: LogicalOperator, indent: int = 0) -> str:
@@ -149,7 +159,8 @@ def explain(operator: LogicalOperator, indent: int = 0) -> str:
                 f"{filters} (~{operator.cardinality:.0f} rows)")
     elif isinstance(operator, LogicalJoin):
         keys = ", ".join(f"{p.key()}={b.key()}" for p, b in operator.keys)
-        line = f"{pad}HashJoin [{keys}] (~{operator.cardinality:.0f} rows)"
+        name = "LeftOuterHashJoin" if operator.kind == "left" else "HashJoin"
+        line = f"{pad}{name} [{keys}] (~{operator.cardinality:.0f} rows)"
     elif isinstance(operator, LogicalFilter):
         line = f"{pad}Filter ({len(operator.predicates)} predicates)"
     elif isinstance(operator, LogicalAggregate):
@@ -160,7 +171,8 @@ def explain(operator: LogicalOperator, indent: int = 0) -> str:
     elif isinstance(operator, LogicalSort):
         line = f"{pad}Sort ({len(operator.keys)} keys)"
     elif isinstance(operator, LogicalLimit):
-        line = f"{pad}Limit {operator.limit}"
+        shown = operator.limit if isinstance(operator.limit, int) else "?"
+        line = f"{pad}Limit {shown}"
     elif isinstance(operator, LogicalDistinct):
         line = f"{pad}Distinct"
     else:

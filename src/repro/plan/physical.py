@@ -85,6 +85,10 @@ class PhysHashProbe:
     payload_columns: list[ColumnExpr]
     #: residual non-equi predicates checked per match
     residual: list[TypedExpression] = field(default_factory=list)
+    #: LEFT OUTER JOIN: a probe row without any (residual-passing) match is
+    #: preserved once, with every payload column NULL-padded, instead of
+    #: being dropped.
+    outer: bool = False
 
 
 # --------------------------------------------------------------------------- #
@@ -124,7 +128,9 @@ class OutputSink:
 
     output: list[tuple[str, TypedExpression]]
     order_by: list[tuple[TypedExpression, bool]] = field(default_factory=list)
-    limit: Optional[int] = None
+    #: ``None``, an ``int``, or a ParameterExpr (``LIMIT ?``) resolved against
+    #: the bound parameter values at execution time.
+    limit: Optional[object] = None
     distinct: bool = False
 
 
@@ -159,6 +165,8 @@ class Pipeline:
         for operator in self.operators:
             if isinstance(operator, PhysFilter):
                 parts.append("filter")
+            elif operator.outer:
+                parts.append(f"outer probe HT{operator.join_id}")
             else:
                 parts.append(f"probe HT{operator.join_id}")
         sink = self.sink

@@ -195,6 +195,11 @@ class PreparedQuery:
         self.generated.state.configure_breakers(
             partitions=database.breaker_partitions_for(opts),
             use_partitioned=opts.use_partitioned_breakers)
+        # Resolve LIMIT against the just-bound parameters and choose the
+        # output strategy (top-k breaker / early termination / plain
+        # collection) for this execution.
+        self.generated.state.configure_output(
+            self.generated.output_sink, use_topk=opts.use_topk_breaker)
 
         if mode == "adaptive":
             executor = AdaptiveExecutor(

@@ -34,6 +34,7 @@ from .expressions import (
     ParameterExpr,
     TypedExpression,
     collect_aggregates,
+    referenced_bindings,
     split_conjuncts,
 )
 
@@ -63,21 +64,45 @@ class OutputColumn:
 
 
 @dataclass
+class BoundOuterJoin:
+    """One LEFT OUTER JOIN: its preserved-side ON conjuncts stay attached.
+
+    ``binding`` names the join's build side (the right input).  The
+    conjuncts are *not* folded into the global predicate pool -- treating a
+    left join's ON clause as a WHERE filter would drop the preserved rows
+    -- so the planner classifies them per join (equi keys, build-side
+    filters, probe residuals).
+    """
+
+    binding: str
+    conjuncts: list[TypedExpression] = field(default_factory=list)
+
+
+@dataclass
 class BoundQuery:
     """The fully resolved query, ready for planning."""
 
     bindings: list[TableBinding]
-    #: WHERE / JOIN-ON conjuncts, unclassified (the optimizer splits them).
+    #: WHERE / inner-JOIN-ON conjuncts, unclassified (the optimizer splits
+    #: them).  LEFT JOIN conjuncts live in :attr:`outer_joins` instead.
     predicates: list[TypedExpression]
     output: list[OutputColumn]
     group_by: list[TypedExpression] = field(default_factory=list)
     having: Optional[TypedExpression] = None
     order_by: list[tuple[TypedExpression, bool]] = field(default_factory=list)
-    limit: Optional[int] = None
+    #: An ``int`` literal or a :class:`ParameterExpr` (``LIMIT ?``).
+    limit: Optional[object] = None
     distinct: bool = False
     #: One spec per bind-parameter slot, in slot order (empty when the
     #: statement has no parameters).
     parameters: list[ParameterSpec] = field(default_factory=list)
+    #: LEFT OUTER JOINs in FROM-clause order; their build bindings are
+    #: nullable (NULL-padded for unmatched preserved rows).
+    outer_joins: list[BoundOuterJoin] = field(default_factory=list)
+
+    @property
+    def nullable_bindings(self) -> set[str]:
+        return {join.binding for join in self.outer_joins}
 
     @property
     def has_aggregation(self) -> bool:
@@ -128,10 +153,19 @@ class Binder:
         scope = _Scope(bindings)
 
         predicates: list[TypedExpression] = []
+        outer_joins: list[BoundOuterJoin] = []
         for join in statement.joins:
             condition = self._bind_expression(join.condition, scope)
             self._require_bool(condition, "JOIN condition")
-            predicates.extend(split_conjuncts(condition))
+            conjuncts = split_conjuncts(condition)
+            if join.kind == "left":
+                # A left join's ON clause must stay attached to the join:
+                # folding it into the WHERE pool would drop preserved rows.
+                outer_joins.append(BoundOuterJoin(
+                    binding=(join.table.alias or join.table.table).lower(),
+                    conjuncts=conjuncts))
+            else:
+                predicates.extend(conjuncts)
         if statement.where is not None:
             where = self._bind_expression(statement.where, scope)
             self._require_bool(where, "WHERE clause")
@@ -157,6 +191,11 @@ class Binder:
             order_by.append((self._bind_order_key(item.expr, scope, output),
                              item.ascending))
 
+        limit = statement.limit
+        if isinstance(limit, ast.Parameter):
+            limit = self._bind_parameter(limit)
+            self._set_parameter_type(limit, SQLType.INT64)
+
         bound = BoundQuery(
             bindings=bindings,
             predicates=predicates,
@@ -164,11 +203,13 @@ class Binder:
             group_by=group_by,
             having=having,
             order_by=order_by,
-            limit=statement.limit,
+            limit=limit,
             distinct=statement.distinct,
             parameters=self._finalize_parameters(),
+            outer_joins=outer_joins,
         )
         self._validate_aggregation(bound)
+        self._validate_nullable_usage(bound)
         return bound
 
     # ------------------------------------------------------------------ #
@@ -285,8 +326,16 @@ class Binder:
         if not refs:
             raise BindError("queries without a FROM clause are not supported")
         for join in statement.joins:
-            if join.kind != "inner":
-                raise BindError("only INNER JOIN is supported")
+            if join.kind in ("right", "full"):
+                construct = ("RIGHT OUTER JOIN" if join.kind == "right"
+                             else "FULL OUTER JOIN")
+                raise BindError(
+                    f"{construct} is not supported (line {join.line}, "
+                    f"column {join.column}); only INNER JOIN and "
+                    f"LEFT [OUTER] JOIN are available -- rewrite a RIGHT "
+                    f"join by swapping its inputs")
+            if join.kind not in ("inner", "left"):  # pragma: no cover
+                raise BindError(f"unknown join kind {join.kind!r}")
         bindings: list[TableBinding] = []
         seen: set[str] = set()
         for ref in refs:
@@ -355,6 +404,55 @@ class Binder:
             self._check_aggregated_expr(bound.having, group_keys, "HAVING")
         for expr, _ in bound.order_by:
             self._check_aggregated_expr(expr, group_keys, "ORDER BY")
+
+    def _validate_nullable_usage(self, bound: BoundQuery) -> None:
+        """Restrict where NULL-padded (left-join build) columns may appear.
+
+        The engine is NULL-free everywhere except the left-join padding
+        emitted at the very end of a pipeline, so nullable columns are only
+        allowed where a NULL can flow straight to the client: as bare
+        column references in the SELECT list and in ORDER BY, and inside
+        their own join's ON condition.  Everything else -- WHERE, GROUP BY,
+        aggregate arguments, HAVING, other joins' conditions, expressions
+        over nullable columns -- is rejected with a precise error, which
+        keeps NULL keys out of every breaker path.
+        """
+        nullable = bound.nullable_bindings
+        if not nullable:
+            return
+
+        def check(expr: TypedExpression, context: str,
+                  allow_bare: bool = False) -> None:
+            if allow_bare and isinstance(expr, ColumnExpr):
+                return
+            used = referenced_bindings(expr) & nullable
+            if used:
+                name = sorted(used)[0]
+                raise BindError(
+                    f"column(s) of LEFT JOIN table {name!r} can be NULL and "
+                    f"may only appear as bare columns in the SELECT list or "
+                    f"ORDER BY, not in {context}")
+
+        for predicate in bound.predicates:
+            check(predicate, "WHERE or an inner JOIN condition")
+        for join in bound.outer_joins:
+            others = nullable - {join.binding}
+            for conjunct in join.conjuncts:
+                used = referenced_bindings(conjunct) & others
+                if used:
+                    raise BindError(
+                        f"column(s) of LEFT JOIN table {sorted(used)[0]!r} "
+                        f"can be NULL and may not appear in another join's "
+                        f"ON condition")
+        for column in bound.output:
+            check(column.expr, "an expression of the SELECT list",
+                  allow_bare=True)
+        for expr in bound.group_by:
+            check(expr, "GROUP BY")
+        if bound.having is not None:
+            check(bound.having, "HAVING")
+        for expr, _ in bound.order_by:
+            check(expr, "an ORDER BY expression", allow_bare=True)
 
     def _check_aggregated_expr(self, expr: TypedExpression,
                                group_keys: set, context: str) -> None:

@@ -163,11 +163,18 @@ class TableRef:
 
 @dataclass
 class Join:
-    """An explicit ``JOIN ... ON`` clause attached to the from-list."""
+    """An explicit ``JOIN ... ON`` clause attached to the from-list.
+
+    ``kind`` is ``"inner"``, ``"left"``, ``"right"`` or ``"full"``; the
+    source location of the join keyword rides along so the binder can point
+    its error at the unsupported construct.
+    """
 
     table: TableRef
     condition: Expression
     kind: str = "inner"
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -189,7 +196,8 @@ class SelectStatement:
     group_by: list[Expression] = field(default_factory=list)
     having: Optional[Expression] = None
     order_by: list[OrderItem] = field(default_factory=list)
-    limit: Optional[int] = None
+    #: An ``int`` literal or a :class:`Parameter` placeholder (``LIMIT ?``).
+    limit: Optional[object] = None
     distinct: bool = False
     #: Parameter slot -> name (``None`` for positional slots).  One entry per
     #: distinct parameter of the statement, in slot order.

@@ -32,7 +32,8 @@ class TokenType(enum.Enum):
 KEYWORDS = {
     "select", "distinct", "from", "where", "group", "by", "having", "order",
     "limit", "as", "and", "or", "not", "in", "between", "like", "is", "null",
-    "join", "inner", "left", "on", "asc", "desc", "case", "when", "then",
+    "join", "inner", "left", "outer", "right", "full", "on", "asc", "desc",
+    "case", "when", "then",
     "else", "end", "date", "interval", "year", "month", "day", "exists",
     "union", "all", "cast", "substring", "extract", "for", "true", "false",
 }

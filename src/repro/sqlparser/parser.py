@@ -128,10 +128,15 @@ class Parser:
         limit = None
         if self._accept_keyword("limit"):
             token = self.current
-            if token.type is not TokenType.INTEGER:
-                raise self._error("LIMIT expects an integer")
-            limit = int(token.value)
-            self._advance()
+            if token.type is TokenType.PARAMETER:
+                self._advance()
+                limit = self._make_parameter(token.value)
+            elif token.type is TokenType.INTEGER:
+                limit = int(token.value)
+                self._advance()
+            else:
+                raise self._error(
+                    "LIMIT expects an integer or a bind parameter")
 
         return ast.SelectStatement(
             select_items=select_items,
@@ -183,20 +188,27 @@ class Parser:
             if self._accept_punct(","):
                 tables.append(self._parse_table_ref())
                 continue
-            if self.current.matches_keyword("inner") or \
-                    self.current.matches_keyword("join") or \
-                    self.current.matches_keyword("left"):
+            token = self.current
+            if token.type is TokenType.KEYWORD and token.value in (
+                    "inner", "join", "left", "right", "full"):
                 kind = "inner"
                 if self._accept_keyword("left"):
                     kind = "left"
+                elif self._accept_keyword("right"):
+                    kind = "right"
+                elif self._accept_keyword("full"):
+                    kind = "full"
                 else:
                     self._accept_keyword("inner")
+                if kind != "inner":
+                    self._accept_keyword("outer")
                 self._expect_keyword("join")
                 table = self._parse_table_ref()
                 self._expect_keyword("on")
                 condition = self._parse_expression()
                 joins.append(ast.Join(table=table, condition=condition,
-                                      kind=kind))
+                                      kind=kind, line=token.line,
+                                      column=token.column))
                 continue
             break
         return tables, joins

@@ -119,6 +119,8 @@ def encode_python_value(value, sql_type: SQLType):
 
 def decode_internal_value(value, sql_type: SQLType):
     """Decode an internal value back into the user-facing Python value."""
+    if value is None:  # NULL-padded payload of an unmatched LEFT JOIN row
+        return None
     if sql_type is SQLType.DECIMAL:
         return scaled_to_decimal(int(value))
     if sql_type is SQLType.DATE:

@@ -1,0 +1,92 @@
+"""Per-mode workload coverage report: TPC-H and TPC-DS end-to-end.
+
+Every execution mode is driven through the *entire* TPC-H (22 queries) and
+TPC-DS (7 queries) workloads; the test counts how many queries run
+end-to-end per mode and fails if any mode drops below its recorded floor.
+The floors are the full workload sizes -- every query runs in every mode
+today -- so any regression (a query a mode stops handling) fails this test
+with a report naming the mode and the query instead of silently shrinking
+the supported surface.
+
+Run with ``-s`` to see the per-mode coverage table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BASELINE_MODES, ENGINE_MODES
+from repro.workloads import TPCDS_QUERIES, TPCH_QUERIES, populate_tpcds
+
+ALL_MODES = list(ENGINE_MODES) + list(BASELINE_MODES)
+
+#: Minimum number of workload queries each mode must run end-to-end.
+#: Raise a floor when a mode gains coverage; never lower one.
+COVERAGE_FLOORS = {
+    "tpch": {mode: len(TPCH_QUERIES) for mode in ALL_MODES},
+    "tpcds": {mode: len(TPCDS_QUERIES) for mode in ALL_MODES},
+}
+
+
+@pytest.fixture(scope="module")
+def tpcds_db():
+    return populate_tpcds(fact_rows=400)
+
+
+def _run_workload(db, queries, mode):
+    """Execute every query of one workload in one mode; return the failures
+    as ``[(query_id, error)]`` (empty means full coverage)."""
+    failures = []
+    for query_id in sorted(queries):
+        try:
+            result = db.execute(queries[query_id], mode=mode)
+            assert result.rows is not None
+        except Exception as exc:  # noqa: BLE001 - coverage accounting
+            failures.append((query_id, f"{type(exc).__name__}: {exc}"))
+    return failures
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_tpch_mode_coverage(tpch_db_tiny, mode):
+    failures = _run_workload(tpch_db_tiny, TPCH_QUERIES, mode)
+    passed = len(TPCH_QUERIES) - len(failures)
+    floor = COVERAGE_FLOORS["tpch"][mode]
+    print(f"\n[coverage] tpch {mode}: {passed}/{len(TPCH_QUERIES)} "
+          f"(floor {floor})")
+    assert passed >= floor, (
+        f"TPC-H coverage regression in mode {mode!r}: "
+        f"{passed}/{len(TPCH_QUERIES)} < floor {floor}; failures: {failures}")
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+def test_tpcds_mode_coverage(tpcds_db, mode):
+    failures = _run_workload(tpcds_db, TPCDS_QUERIES, mode)
+    passed = len(TPCDS_QUERIES) - len(failures)
+    floor = COVERAGE_FLOORS["tpcds"][mode]
+    print(f"\n[coverage] tpcds {mode}: {passed}/{len(TPCDS_QUERIES)} "
+          f"(floor {floor})")
+    assert passed >= floor, (
+        f"TPC-DS coverage regression in mode {mode!r}: "
+        f"{passed}/{len(TPCDS_QUERIES)} < floor {floor}; "
+        f"failures: {failures}")
+
+
+def test_ordered_limit_workload_queries_agree_across_modes(tpch_db_tiny):
+    """The TPC-H queries with ORDER BY + LIMIT (the top-k breaker's
+    workload surface) return identical rows in every mode, with the
+    breaker on and off."""
+    from repro.options import ExecOptions
+
+    topk_queries = [number for number, sql in TPCH_QUERIES.items()
+                    if "limit" in sql.lower() and "order by" in sql.lower()]
+    assert len(topk_queries) >= 5  # the workload genuinely exercises top-k
+    for number in topk_queries:
+        sql = TPCH_QUERIES[number]
+        reference = None
+        for mode in ALL_MODES:
+            for options in (ExecOptions(mode=mode),
+                            ExecOptions(mode=mode, use_topk_breaker=False)):
+                rows = tpch_db_tiny.execute(sql, options=options).rows
+                if reference is None:
+                    reference = rows
+                assert rows == reference, (number, mode, options)
