@@ -8,49 +8,142 @@ pipelines on a background thread, switches over seamlessly and finishes
 first.  The reproduction prints ASCII traces of the three modes and checks
 the qualitative properties (adaptive compiles a strict subset of pipelines
 and beats the slower static mode).
+
+The simulator's raw event streams are lifted into the unified
+:class:`repro.QueryTrace` model (the same structure live executions attach
+to their results), so rendering and the ``--json`` dump share one format
+with the rest of the telemetry subsystem.
+
+Run as a script: ``python benchmarks/bench_fig14_trace.py [--json [PATH]]``
+(``--json`` writes the three traces as one JSON document, to stdout or PATH).
 """
 
-from repro.adaptive import render_trace, simulate_adaptive, simulate_static
-from repro.adaptive.simulation import cost_model_from_profiles, profile_query
-from repro.workloads import TPCH_QUERIES
+from __future__ import annotations
 
-from conftest import print_table
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for _path in (os.path.join(os.path.dirname(_HERE), "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.adaptive import render_trace, simulate_adaptive, simulate_static  # noqa: E402
+from repro.adaptive.simulation import cost_model_from_profiles, profile_query  # noqa: E402
+from repro.telemetry import QueryTrace  # noqa: E402
+from repro.workloads import TPCH_QUERIES, populate_tpch  # noqa: E402
 
 THREADS = 4
+TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
 
 
-def test_fig14_q11_execution_trace(tpch_small, benchmark):
+def simulate_all(db):
+    """The three Fig. 14 simulations, traces unified into QueryTrace."""
     sql = TPCH_QUERIES[11]
-    profile = profile_query(tpch_small, sql, label="TPC-H Q11")
+    profile = profile_query(db, sql, label="TPC-H Q11")
     cost_model = cost_model_from_profiles([profile])
 
-    bytecode = simulate_static(profile, "bytecode", THREADS)
-    unoptimized = simulate_static(profile, "unoptimized", THREADS)
-    adaptive = simulate_adaptive(profile, THREADS, cost_model=cost_model)
+    results = {
+        "bytecode": simulate_static(profile, "bytecode", THREADS),
+        "unoptimized": simulate_static(profile, "unoptimized", THREADS),
+        "adaptive": simulate_adaptive(profile, THREADS,
+                                      cost_model=cost_model),
+    }
+    traces = {}
+    for mode, result in results.items():
+        trace = QueryTrace.from_execution(result.trace, query_id=f"fig14-{mode}",
+                                          sql=sql, mode=mode)
+        # The simulator reports tier switches as per-pipeline mode chains;
+        # recover the switch events for the unified trace from the compile
+        # events (a simulated switch completes when its compile event ends).
+        for event in result.trace.events:
+            if event.kind == "compile" and mode == "adaptive":
+                trace.record_tier_switch(
+                    event.pipeline, "bytecode", event.mode, at=event.end,
+                    synchronous=THREADS == 1,
+                    trigger={"source": "simulation"})
+        traces[mode] = trace
+    return results, traces, cost_model, profile
 
-    for result in (bytecode, unoptimized, adaptive):
-        print()
-        print(render_trace(result.trace, width=90))
 
-    rows = [[result.mode, f"{result.total_seconds * 1000:.2f}",
-             f"{result.compile_seconds * 1000:.2f}",
-             "; ".join(f"{name}:{'->'.join(modes)}"
-                       for name, modes in result.pipeline_modes.items())]
-            for result in (bytecode, unoptimized, adaptive)]
-    print_table(f"Fig. 14: TPC-H Q11, {THREADS} threads",
-                ["mode", "total [ms]", "compile [ms]", "pipeline modes"], rows)
+def traces_to_json(results, traces) -> str:
+    document = {mode: {"total_seconds": results[mode].total_seconds,
+                       "compile_seconds": results[mode].compile_seconds,
+                       "pipeline_modes": {name: "->".join(modes)
+                                          for name, modes in
+                                          results[mode].pipeline_modes.items()},
+                       "trace": traces[mode].to_dict()}
+                for mode in results}
+    return json.dumps(document, indent=2)
 
+
+def check_fig14_properties(results) -> None:
+    adaptive = results["adaptive"]
     # Qualitative checks from the paper's discussion of the trace:
     # adaptive starts interpreting (no up-front compilation barrier) ...
     first_adaptive_event = min(adaptive.trace.events, key=lambda e: e.start)
     assert first_adaptive_event.kind == "morsel"
     # ... is at least as fast as the worst static choice ...
-    assert adaptive.total_seconds <= max(bytecode.total_seconds,
-                                         unoptimized.total_seconds)
+    assert adaptive.total_seconds <= max(results["bytecode"].total_seconds,
+                                         results["unoptimized"].total_seconds)
     # ... and compiles at most as many pipelines as the static modes do.
     compiled_pipelines = [name for name, modes in
                           adaptive.pipeline_modes.items() if len(modes) > 1]
     assert len(compiled_pipelines) <= len(adaptive.pipeline_modes)
 
+
+def test_fig14_q11_execution_trace(tpch_small, benchmark):
+    from conftest import print_table
+
+    results, traces, cost_model, profile = simulate_all(tpch_small)
+
+    for mode in ("bytecode", "unoptimized", "adaptive"):
+        print()
+        print(render_trace(traces[mode], width=90))
+
+    rows = [[mode, f"{result.total_seconds * 1000:.2f}",
+             f"{result.compile_seconds * 1000:.2f}",
+             "; ".join(f"{name}:{'->'.join(modes)}"
+                       for name, modes in result.pipeline_modes.items())]
+            for mode, result in results.items()]
+    print_table(f"Fig. 14: TPC-H Q11, {THREADS} threads",
+                ["mode", "total [ms]", "compile [ms]", "pipeline modes"], rows)
+
+    check_fig14_properties(results)
+    # The unified adaptive trace carries the switch events the raw
+    # simulator trace only encodes implicitly.
+    compiled = [name for name, modes in
+                results["adaptive"].pipeline_modes.items() if len(modes) > 1]
+    assert len(traces["adaptive"].tier_switches) == len(compiled)
+    # Round-trips as JSON.
+    json.loads(traces_to_json(results, traces))
+
     benchmark(lambda: simulate_adaptive(profile, THREADS,
                                         cost_model=cost_model))
+
+
+if __name__ == "__main__":
+    db = populate_tpch(scale_factor=0.01 if TINY else 0.05, seed=1)
+    try:
+        results, traces, _, _ = simulate_all(db)
+        if "--json" in sys.argv:
+            document = traces_to_json(results, traces)
+            position = sys.argv.index("--json")
+            target = sys.argv[position + 1] \
+                if position + 1 < len(sys.argv) else None
+            if target:
+                with open(target, "w") as handle:
+                    handle.write(document + "\n")
+                print(f"wrote {target}")
+            else:
+                print(document)
+        else:
+            for mode in ("bytecode", "unoptimized", "adaptive"):
+                print()
+                print(render_trace(traces[mode], width=90))
+        check_fig14_properties(results)
+        print("\nfig14 trace checks -- PASS")
+    finally:
+        db.close()
+    sys.exit(0)

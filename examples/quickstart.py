@@ -138,6 +138,33 @@ def main() -> None:
     print(f"scheduler: {sched.completed} completed, "
           f"peak {sched.peak_running} running / "
           f"{sched.peak_pending} queued")
+
+    # --- telemetry: EXPLAIN ANALYZE, metrics snapshot, exporters ------------
+    # EXPLAIN ANALYZE runs the statement and annotates every pipeline with
+    # observed cardinalities and timings; it works in all execution modes
+    # and through every entry point (execute, submit, sessions).
+    print("\nEXPLAIN ANALYZE:")
+    analyzed = db.execute(f"explain analyze {sql}", mode="adaptive")
+    for (line,) in analyzed.rows:
+        print(f"  {line}")
+
+    # Every engine-mode result carries a unified lifecycle trace: phase and
+    # pipeline spans, plus adaptive tier switches with the cost-model
+    # trigger that caused them (telemetry="off" disables recording).
+    trace = analyzed.query_trace
+    print(f"\nquery {trace.query_id}: {len(trace.spans)} spans, "
+          f"{len(trace.tier_switches)} tier switches")
+
+    # Database.metrics aggregates engine-wide counters -- queries by mode,
+    # latency histograms, plan-cache hit rate, scheduler queue depth,
+    # storage pruning -- as a nested dict, JSON lines, or Prometheus text.
+    snapshot = db.metrics.snapshot()
+    print(f"metrics: {snapshot['query']['count']} queries recorded, "
+          f"cache hit rate {snapshot['plan_cache']['hit_rate']:.0%}, "
+          f"p95 latency {snapshot['query']['seconds']['p95'] * 1000:.2f} ms")
+    prometheus = db.metrics.to_prometheus()
+    print(f"prometheus export: {len(prometheus.splitlines())} lines "
+          f"(first: {prometheus.splitlines()[0]!r})")
     db.close()  # joins the worker pool and compile thread
 
 

@@ -50,9 +50,19 @@ from .scheduler import (
     TicketState,
     WorkerPool,
 )
+from .telemetry import (
+    Counter,
+    ExplainResult,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QueryTrace,
+    Span,
+    TierSwitchEvent,
+)
 from .types import SQLType
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Database", "QueryResult", "PhaseTimings", "PipelineExecution",
@@ -61,6 +71,8 @@ __all__ = [
     "ExecOptions", "ParameterSpec",
     "QueryScheduler", "QueryTicket", "SchedulerStats", "TicketState",
     "Session", "SessionStats", "WorkerPool",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "QueryTrace", "Span", "TierSwitchEvent", "ExplainResult",
     "SQLType", "ReproError", "SQLError", "ParameterError",
     "ENGINE_MODES", "BASELINE_MODES", "DEFAULT_MORSEL_SIZE",
     "__version__",

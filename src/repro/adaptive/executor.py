@@ -48,7 +48,7 @@ from .modes import ExecutionMode, FunctionHandle
 from .morsel import MorselDispatcher
 from .policy import AdaptivePolicy, Decision
 from .progress import PipelineProgress
-from .trace import ExecutionTrace, TraceEvent
+from .trace import QueryTrace, TraceEvent
 
 #: Initial morsel size for adaptive execution (grows towards the maximum),
 #: giving the policy early sample points as described in the paper.
@@ -116,7 +116,9 @@ class AdaptiveExecutor:
     # ------------------------------------------------------------------ #
     def execute(self, generated: GeneratedQuery, planning: PlanningResult,
                 timings: PhaseTimings) -> QueryResult:
-        trace = ExecutionTrace(label="adaptive")
+        # Tier-switch events are recorded unconditionally (they are rare);
+        # the per-morsel event stream only at ``collect_trace``.
+        trace = QueryTrace(label="adaptive", mode="adaptive")
         query_start = time.perf_counter()
         pipeline_stats: list[PipelineExecution] = []
 
@@ -127,11 +129,12 @@ class AdaptiveExecutor:
 
         return self.database._assemble_result(
             generated, planning, timings, "adaptive", pipeline_stats,
-            trace=trace if self.collect_trace else None)
+            trace=trace if self.collect_trace else None,
+            query_trace=trace)
 
     # ------------------------------------------------------------------ #
     def _run_pipeline(self, index: int, pipeline: GeneratedPipeline,
-                      generated: GeneratedQuery, trace: ExecutionTrace,
+                      generated: GeneratedQuery, trace: QueryTrace,
                       query_start: float,
                       timings: PhaseTimings) -> PipelineExecution:
         total_rows = generated.state.source_row_count(pipeline.pipeline)
@@ -190,6 +193,19 @@ class AdaptiveExecutor:
                 target = evaluation.decision.target_mode
                 if target is None or handle.is_compiled(target):
                     return
+                # Why the policy chose to switch, attached to the trace event
+                # below (the paper's Fig. 7 extrapolation inputs verbatim).
+                trigger = {
+                    "decision": evaluation.decision.value,
+                    "keep_seconds": evaluation.keep_seconds,
+                    "unoptimized_seconds": evaluation.unoptimized_seconds,
+                    "optimized_seconds": evaluation.optimized_seconds,
+                    "rate": evaluation.rate,
+                    "processed_tuples": progress.processed_tuples,
+                    "remaining_tuples": progress.remaining_tuples,
+                    "workers": effective_workers,
+                    "elapsed_seconds": now - pipeline_start,
+                }
                 if self.num_threads == 1:
                     # Single worker: compile synchronously (w=1 in Fig. 7).
                     compile_start = time.perf_counter()
@@ -200,6 +216,10 @@ class AdaptiveExecutor:
                                          compile_end - query_start,
                                          "compile", pipeline.name,
                                          target.tier_name))
+                    trace.record_tier_switch(
+                        pipeline.name, current.tier_name, target.tier_name,
+                        at=compile_end - query_start, synchronous=True,
+                        trigger=trigger)
                     timings.compile += compile_end - compile_start
                     progress.reset_rates()
                     return
@@ -213,6 +233,10 @@ class AdaptiveExecutor:
                                          compile_end - query_start,
                                          "compile", pipeline.name,
                                          target.tier_name))
+                    trace.record_tier_switch(
+                        pipeline.name, current.tier_name, target.tier_name,
+                        at=compile_end - query_start, synchronous=False,
+                        trigger=trigger)
                     background_compile_seconds.append(
                         compile_end - compile_start)
                     progress.reset_rates()
@@ -313,7 +337,7 @@ class StaticParallelExecutor:
 
     def execute(self, generated: GeneratedQuery, planning: PlanningResult,
                 timings: PhaseTimings) -> QueryResult:
-        trace = ExecutionTrace(label=self.mode)
+        trace = QueryTrace(label=self.mode, mode=self.mode)
         query_start = time.perf_counter()
         pipeline_stats: list[PipelineExecution] = []
 
@@ -387,4 +411,5 @@ class StaticParallelExecutor:
 
         return self.database._assemble_result(
             generated, planning, timings, self.mode, pipeline_stats,
-            trace=trace if self.collect_trace else None)
+            trace=trace if self.collect_trace else None,
+            query_trace=trace)

@@ -1,104 +1,19 @@
-"""Execution traces (paper Fig. 14).
+"""Execution traces (paper Fig. 14) -- compatibility re-exports.
 
-Every processed morsel and every compilation becomes a :class:`TraceEvent`
-with precise start/end times, the worker thread that performed it, the
-pipeline it belonged to and the execution mode used.  The trace can be
-rendered as an ASCII timeline, which is how the Fig. 14 reproduction shows
-when each thread switched from interpretation to compiled code.
+The trace model moved to :mod:`repro.telemetry.trace` when tracing was
+unified with the metrics subsystem (the adaptive executor now records into
+a :class:`repro.telemetry.QueryTrace`, which extends the original
+:class:`ExecutionTrace`).  This module keeps the historical import path
+``repro.adaptive.trace`` working for the simulator and existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from ..telemetry.trace import (
+    ExecutionTrace,
+    QueryTrace,
+    TraceEvent,
+    render_trace,
+)
 
-
-@dataclass
-class TraceEvent:
-    """One morsel execution or compilation on one thread."""
-
-    thread_id: int
-    start: float
-    end: float
-    kind: str                 # "morsel" | "compile" | "finish"
-    pipeline: str
-    mode: str                 # bytecode | unoptimized | optimized
-    tuples: int = 0
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-
-@dataclass
-class ExecutionTrace:
-    """All events of one query execution."""
-
-    label: str = ""
-    events: list[TraceEvent] = field(default_factory=list)
-
-    def add(self, event: TraceEvent) -> None:
-        self.events.append(event)
-
-    @property
-    def duration(self) -> float:
-        if not self.events:
-            return 0.0
-        return max(event.end for event in self.events)
-
-    def events_for_thread(self, thread_id: int) -> list[TraceEvent]:
-        return sorted((e for e in self.events if e.thread_id == thread_id),
-                      key=lambda e: e.start)
-
-    def thread_ids(self) -> list[int]:
-        return sorted({event.thread_id for event in self.events})
-
-    def pipelines(self) -> list[str]:
-        seen: list[str] = []
-        for event in sorted(self.events, key=lambda e: e.start):
-            if event.pipeline not in seen:
-                seen.append(event.pipeline)
-        return seen
-
-    def mode_switches(self) -> list[tuple[str, str]]:
-        """Pipelines and the sequence of modes they were executed in."""
-        order: dict[str, list[str]] = {}
-        for event in sorted(self.events, key=lambda e: e.start):
-            if event.kind != "morsel":
-                continue
-            modes = order.setdefault(event.pipeline, [])
-            if not modes or modes[-1] != event.mode:
-                modes.append(event.mode)
-        return [(pipeline, "->".join(modes))
-                for pipeline, modes in order.items()]
-
-
-_MODE_CHARS = {"bytecode": "b", "unoptimized": "u", "optimized": "o",
-               "compile": "C", "finish": "f"}
-
-
-def render_trace(trace: ExecutionTrace, width: int = 100) -> str:
-    """Render the trace as an ASCII per-thread timeline (Fig. 14 style).
-
-    Each character cell covers ``duration / width`` seconds; morsel cells show
-    the execution mode (``b``/``u``/``o``), compilations show ``C``.
-    """
-    duration = trace.duration
-    if duration <= 0:
-        return f"{trace.label}: (empty trace)"
-    scale = width / duration
-    lines = [f"{trace.label}  (total {duration * 1000:.2f} ms, "
-             f"1 cell = {duration / width * 1000:.3f} ms)"]
-    for thread_id in trace.thread_ids():
-        cells = [" "] * width
-        for event in trace.events_for_thread(thread_id):
-            start_cell = min(int(event.start * scale), width - 1)
-            end_cell = min(max(int(event.end * scale), start_cell + 1), width)
-            char = ("C" if event.kind == "compile"
-                    else _MODE_CHARS.get(event.mode, "?"))
-            for cell in range(start_cell, end_cell):
-                cells[cell] = char
-        lines.append(f"thread {thread_id}: |{''.join(cells)}|")
-    lines.append("legend: b=bytecode morsel, u=unoptimized morsel, "
-                 "o=optimized morsel, C=compilation")
-    return "\n".join(lines)
+__all__ = ["ExecutionTrace", "QueryTrace", "TraceEvent", "render_trace"]

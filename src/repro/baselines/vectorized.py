@@ -19,6 +19,7 @@ results are identical, including the ascending group-key order.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -40,7 +41,7 @@ from ..codegen.runtime import resolve_limit
 from ..plan.sargs import plan_pipeline_scan
 from ..types import SQLType
 from .expr_eval import evaluate_expression_vectorized
-from .volcano import _finish_output
+from .volcano import PipelineRunStats, _finish_output
 
 #: Combined group/join codes stay below this bound so the per-column
 #: factor products fit comfortably in int64; larger key domains fall back
@@ -174,6 +175,10 @@ class VectorizedEngine:
         self.breaker_partitions_used = 0
         self.breaker_partial_entries = 0
         self.breaker_merge_seconds = 0.0
+        #: Per-pipeline :class:`PipelineRunStats` of the last execution,
+        #: consumed by EXPLAIN ANALYZE through ``Database._execute_baseline``.
+        self.pipeline_stats: list[PipelineRunStats] = []
+        self._current_stats: Optional[PipelineRunStats] = None
         #: Bind-parameter values of the current execution (encoded).
         self._params: tuple = ()
 
@@ -181,30 +186,45 @@ class VectorizedEngine:
     def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
         self._params = tuple(params)
         self.early_terminated = False
+        self.pipeline_stats = []
         hash_tables: dict[int, tuple] = {}
         intermediates: dict[str, tuple[dict, int]] = {}
         output_rows: list[tuple] = []
         output_sink: Optional[OutputSink] = None
+        output_stats: Optional[PipelineRunStats] = None
 
         for pipeline in plan.pipelines:
+            stats = PipelineRunStats(name=pipeline.name,
+                                     description=pipeline.describe())
+            self.pipeline_stats.append(stats)
+            self._current_stats = stats
+            start = time.perf_counter()
             columns, num_rows = self._run_pipeline_body(pipeline, hash_tables,
                                                         intermediates)
             sink = pipeline.sink
             if isinstance(sink, HashBuildSink):
                 hash_tables[sink.join_id] = self._build_hash_table(
                     sink, columns, num_rows)
+                stats.rows_out = num_rows
             elif isinstance(sink, AggregateSink):
                 intermediates[sink.intermediate.binding] = self._aggregate(
                     sink, columns, num_rows)
+                stats.rows_out = intermediates[sink.intermediate.binding][1]
             elif isinstance(sink, OutputSink):
                 output_sink = sink
+                output_stats = stats
                 self._emit_output(sink, columns, num_rows, output_rows)
             else:  # pragma: no cover - defensive
                 raise ExecutionError(f"unknown sink {type(sink).__name__}")
+            stats.seconds = time.perf_counter() - start
+        self._current_stats = None
 
         if output_sink is None:
             raise ExecutionError("plan has no output pipeline")
-        return _finish_output(output_rows, output_sink, self._params)
+        rows = _finish_output(output_rows, output_sink, self._params)
+        if output_stats is not None:
+            output_stats.rows_out = len(rows)
+        return rows
 
     # ------------------------------------------------------------------ #
     # pipeline body: source columns + filters + probes
@@ -242,6 +262,11 @@ class VectorizedEngine:
                                       use_pruning=self.use_pruning)
             self.chunks_pruned += scan.chunks_pruned
             self.chunks_scanned += scan.chunks_scanned
+            stats = self._current_stats
+            if stats is not None:
+                stats.rows_in += scan.rows_to_scan
+                stats.chunks_scanned += scan.chunks_scanned
+                stats.chunks_pruned += scan.chunks_pruned
             if scan.chunks_pruned == 0:
                 # Full scan: use the consistent whole-column snapshot (all
                 # columns sliced to one row count, cached per chunk).
@@ -262,6 +287,8 @@ class VectorizedEngine:
         stored = intermediates.get(source.binding)
         if stored is None:
             return {}, 0
+        if self._current_stats is not None:
+            self._current_stats.rows_in += stored[1]
         return stored
 
     # ------------------------------------------------------------------ #

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import time
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from ..catalog import Catalog
@@ -40,6 +41,24 @@ from ..plan.physical import (
 from ..plan.sargs import plan_pipeline_scan
 from ..types import SQLType
 from .expr_eval import evaluate_expression
+
+
+@dataclass
+class PipelineRunStats:
+    """Per-pipeline observations of one baseline execution.
+
+    The typed equivalent of the engine executors' ``PipelineExecution``
+    fields the baselines can actually measure; ``Database._execute_baseline``
+    converts these onto the result for EXPLAIN ANALYZE.
+    """
+
+    name: str = ""
+    description: str = ""
+    rows_in: int = 0
+    rows_out: Optional[int] = None
+    seconds: float = 0.0
+    chunks_scanned: int = 0
+    chunks_pruned: int = 0
 
 
 class VolcanoEngine:
@@ -73,6 +92,10 @@ class VolcanoEngine:
         self.breaker_partitions_used = 0
         self.breaker_partial_entries = 0
         self.breaker_merge_seconds = 0.0
+        #: Per-pipeline :class:`PipelineRunStats` of the last execution,
+        #: consumed by EXPLAIN ANALYZE through ``Database._execute_baseline``.
+        self.pipeline_stats: list[PipelineRunStats] = []
+        self._current_stats: Optional[PipelineRunStats] = None
         #: Bind-parameter values of the current execution (encoded).
         self._params: tuple = ()
 
@@ -80,27 +103,45 @@ class VolcanoEngine:
     def execute(self, plan: PhysicalPlan, params=()) -> list[tuple]:
         self._params = tuple(params)
         self.early_terminated = False
+        self.pipeline_stats = []
         hash_tables: dict[int, list[dict]] = {}
         intermediates: dict[str, list[dict]] = {}
         output_rows: list[tuple] = []
         output_sink: Optional[OutputSink] = None
+        output_stats: Optional[PipelineRunStats] = None
 
         for pipeline in plan.pipelines:
             sink = pipeline.sink
+            stats = PipelineRunStats(name=pipeline.name,
+                                     description=pipeline.describe())
+            self.pipeline_stats.append(stats)
+            self._current_stats = stats
+            start = time.perf_counter()
             if isinstance(sink, HashBuildSink):
                 self._run_build(pipeline, sink, hash_tables, intermediates)
+                stats.rows_out = sum(
+                    len(bucket) for part in hash_tables[sink.join_id]
+                    for bucket in part.values())
             elif isinstance(sink, AggregateSink):
                 self._run_aggregate(pipeline, sink, hash_tables, intermediates)
+                stats.rows_out = len(
+                    intermediates[sink.intermediate.binding])
             elif isinstance(sink, OutputSink):
                 output_sink = sink
+                output_stats = stats
                 self._run_output(pipeline, sink, hash_tables, intermediates,
                                  output_rows)
             else:  # pragma: no cover - defensive
                 raise ExecutionError(f"unknown sink {type(sink).__name__}")
+            stats.seconds = time.perf_counter() - start
+        self._current_stats = None
 
         if output_sink is None:
             raise ExecutionError("plan has no output pipeline")
-        return _finish_output(output_rows, output_sink, self._params)
+        rows = _finish_output(output_rows, output_sink, self._params)
+        if output_stats is not None:
+            output_stats.rows_out = len(rows)
+        return rows
 
     # ------------------------------------------------------------------ #
     # row iteration
@@ -119,13 +160,21 @@ class VolcanoEngine:
                                       use_pruning=self.use_pruning)
             self.chunks_pruned += scan.chunks_pruned
             self.chunks_scanned += scan.chunks_scanned
+            stats = self._current_stats
+            if stats is not None:
+                stats.rows_in += scan.rows_to_scan
+                stats.chunks_scanned += scan.chunks_scanned
+                stats.chunks_pruned += scan.chunks_pruned
             for begin, end in scan.ranges:
                 for index in range(begin, end):
                     yield {key: column[index]
                            for key, column in zip(keys, columns)}
             return
         assert isinstance(source, IntermediateSource)
-        for row in intermediates.get(source.binding, []):
+        rows = intermediates.get(source.binding, [])
+        if self._current_stats is not None:
+            self._current_stats.rows_in += len(rows)
+        for row in rows:
             yield row
 
     def _apply_operators(self, pipeline: Pipeline, row: dict,

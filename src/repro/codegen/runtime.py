@@ -218,6 +218,9 @@ class QueryState:
         self.early_limit: Optional[int] = None
         self.rows_emitted = 0
         self.early_terminated = False
+        #: True while EXPLAIN ANALYZE wants sink-side cardinalities that are
+        #: not O(1) to read (join build tables); plain executions skip them.
+        self.collect_operator_stats = False
 
         for pipeline in plan.pipelines:
             sink = pipeline.sink

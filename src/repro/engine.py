@@ -51,7 +51,11 @@ from .errors import ExecutionError, ReproError, SchedulerError
 from .options import ExecOptions
 from .optimizer import Planner, PlanningResult
 from .parameters import bind_parameter_values
+from .plan.physical import AggregateSink, HashBuildSink, OutputSink
 from .plan.sargs import plan_pipeline_scan
+from .telemetry import (MetricsRegistry, QueryTelemetry, TELEMETRY_LEVELS,
+                        build_explain_analyze, build_explain_plan,
+                        split_explain)
 from .scheduler import CompileExecutor, QueryScheduler, QueryTicket, \
     Session, WorkerPool
 from .semantics import Binder, BoundQuery
@@ -142,6 +146,17 @@ class PipelineExecution:
     breaker_partitions: int = 0
     breaker_partial_entries: int = 0
     merge_seconds: float = 0.0
+    #: Operator chain of the pipeline (``Pipeline.describe()``), filled by
+    #: every execution path so EXPLAIN ANALYZE can annotate the plan.
+    description: str = ""
+    #: Rows the pipeline's sink produced: hash-table entries for a join
+    #: build (only when ``collect_operator_stats`` is on -- counting them
+    #: is O(keys)), groups for an aggregation, result rows for the output
+    #: sink.  ``None`` when not collected.
+    rows_out: Optional[int] = None
+    #: Zone-map pruning outcome of this pipeline's scan.
+    chunks_scanned: int = 0
+    chunks_pruned: int = 0
 
 
 @dataclass
@@ -162,6 +177,20 @@ class QueryResult:
     #: True when a LIMIT-without-ORDER-BY quota cancelled morsel dispatch
     #: before the scan was exhausted.
     early_terminated: bool = False
+    #: The unified :class:`repro.telemetry.QueryTrace` of this execution
+    #: (lifecycle spans, tier-switch events; morsel events at telemetry
+    #: level ``"trace"``).  ``None`` at level ``"off"``.
+    query_trace: Optional[object] = None
+    #: The structured :class:`repro.telemetry.ExplainResult` when this
+    #: result came from an EXPLAIN / EXPLAIN ANALYZE statement.
+    explain: Optional[object] = None
+
+    @property
+    def query_id(self) -> str:
+        """Stable query id assigned by telemetry ("" at level "off")."""
+        if self.query_trace is None:
+            return ""
+        return self.query_trace.query_id
 
     @property
     def stats(self) -> dict:
@@ -232,6 +261,47 @@ class Database:
         self._compile_executor: Optional[CompileExecutor] = None
         self._scheduler: Optional[QueryScheduler] = None
         self._closed = False
+        #: Per-database metrics registry (``db.metrics.snapshot()`` /
+        #: ``to_prometheus()`` / ``to_json_lines()``) and the query
+        #: recorder feeding it.  Per-query recording is gated by
+        #: ``ExecOptions.telemetry``; the registry itself always exists.
+        self.metrics = MetricsRegistry()
+        self._query_telemetry = QueryTelemetry(self.metrics)
+        self._register_metric_callbacks()
+
+    def _register_metric_callbacks(self) -> None:
+        """Snapshot-time derived metrics over existing stats carriers.
+
+        These read state that is already maintained under its own
+        synchronization (scheduler/cache stats, pool liveness, the VM's
+        sharded instruction counter), so they cost nothing on the query
+        hot path -- the callback only runs when a snapshot is taken.
+        """
+        register = self.metrics.register_callback
+        register("vm.instructions", lambda: self._vm.instructions_executed)
+        register("plan_cache.entries", lambda: len(self.plan_cache))
+        for name in ("hits", "misses", "evictions", "invalidations"):
+            register(f"plan_cache.{name}",
+                     lambda n=name: getattr(self.plan_cache.stats, n))
+        register("plan_cache.hit_rate",
+                 lambda: self.plan_cache.stats.hit_rate)
+        for name in ("submitted", "completed", "failed", "cancelled",
+                     "rejected", "peak_running", "peak_pending"):
+            register(f"scheduler.{name}", lambda n=name: (
+                getattr(self._scheduler.stats, n)
+                if self._scheduler is not None else 0))
+        register("scheduler.queue_depth", lambda: (
+            self._scheduler.pending_count
+            if self._scheduler is not None and not self._scheduler.closed
+            else 0))
+        register("scheduler.running", lambda: (
+            self._scheduler.running_count
+            if self._scheduler is not None and not self._scheduler.closed
+            else 0))
+        register("pool.size", lambda: (
+            self._pool.size if self._pool is not None else 0))
+        register("pool.alive_workers", lambda: (
+            self._pool.alive_workers() if self._pool is not None else 0))
 
     @property
     def vm_instructions(self) -> int:
@@ -246,7 +316,7 @@ class Database:
         """The shared morsel worker pool (created lazily)."""
         with self._runtime_lock:
             if self._pool is None or self._pool.closed:
-                self._pool = WorkerPool(self._workers)
+                self._pool = WorkerPool(self._workers, metrics=self.metrics)
             return self._pool
 
     @property
@@ -254,7 +324,7 @@ class Database:
         """The shared background tier-compilation thread (created lazily)."""
         with self._runtime_lock:
             if self._compile_executor is None or self._compile_executor.closed:
-                self._compile_executor = CompileExecutor()
+                self._compile_executor = CompileExecutor(metrics=self.metrics)
             return self._compile_executor
 
     @property
@@ -447,15 +517,15 @@ class Database:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def _validate_mode(self, sql: str, mode: str, threads: int,
-                       collect_trace: bool) -> None:
+    def _validate_options(self, sql: str, opts: ExecOptions) -> None:
         """Reject invalid mode/parameter combinations (shared with submit)."""
+        mode = opts.mode
         if mode in BASELINE_MODES:
-            if threads > 1:
+            if opts.threads > 1:
                 raise ExecutionError(
                     f"baseline mode {mode!r} is single-threaded; "
-                    f"got threads={threads}")
-            if collect_trace:
+                    f"got threads={opts.threads}")
+            if opts.collect_trace:
                 raise ExecutionError(
                     f"baseline mode {mode!r} does not record execution "
                     f"traces")
@@ -463,20 +533,30 @@ class Database:
             raise ExecutionError(
                 f"unknown execution mode {mode!r}; expected one of "
                 f"{ENGINE_MODES + BASELINE_MODES}")
+        if opts.telemetry not in TELEMETRY_LEVELS:
+            raise ExecutionError(
+                f"unknown telemetry level {opts.telemetry!r}; expected one "
+                f"of {TELEMETRY_LEVELS}")
 
     def execute(self, sql: str, mode: Optional[str] = None,
                 threads: Optional[int] = None,
                 collect_trace: Optional[bool] = None,
                 use_cache: Optional[bool] = None,
                 options: Optional[ExecOptions] = None,
-                params=None) -> QueryResult:
+                params=None,
+                telemetry: Optional[str] = None) -> QueryResult:
         """Execute ``sql`` with the given execution options.
 
         ``options`` (an :class:`repro.ExecOptions`) describes how to run;
         the legacy ``mode`` / ``threads`` / ``collect_trace`` / ``use_cache``
-        keywords override individual fields.  ``params`` supplies bind
-        parameter values -- a sequence for ``?`` placeholders, a mapping for
-        ``:name`` placeholders.
+        keywords (and the ``telemetry`` level) override individual fields.
+        ``params`` supplies bind parameter values -- a sequence for ``?``
+        placeholders, a mapping for ``:name`` placeholders.
+
+        ``EXPLAIN <select>`` and ``EXPLAIN ANALYZE <select>`` statements are
+        recognised here and return the annotated plan as a one-column result
+        (the structured form rides along as ``result.explain``); see
+        :meth:`explain` for the direct API.
 
         Engine modes are served through the plan cache: repeated executions
         of the same (normalized) SQL reuse the cached plan, IR and compiled
@@ -491,12 +571,46 @@ class Database:
         """
         opts = ExecOptions.resolve(options, mode=mode, threads=threads,
                                    collect_trace=collect_trace,
-                                   use_cache=use_cache)
-        self._validate_mode(sql, opts.mode, opts.threads, opts.collect_trace)
-        if opts.mode in BASELINE_MODES:
-            return self._execute_baseline(sql, opts.mode, params,
-                                          options=opts)
+                                   use_cache=use_cache, telemetry=telemetry)
+        explain_kind, inner_sql = split_explain(sql)
+        if explain_kind == "plan":
+            return self._explain_plan(inner_sql, opts)
+        if explain_kind == "analyze":
+            return self._explain_analyze(inner_sql, opts, params)
+        return self._execute_resolved(sql, opts, params)
 
+    def _execute_resolved(self, sql: str, opts: ExecOptions,
+                          params=None) -> QueryResult:
+        """Validated execution of a plain (non-EXPLAIN) statement."""
+        self._validate_options(sql, opts)
+        # Level "trace" implies the morsel-event timeline for engine modes;
+        # the baselines have no morsel events, so the level degrades to
+        # "basic" there (an *explicit* collect_trace still errors above).
+        if opts.telemetry == "trace" and not opts.collect_trace \
+                and opts.mode in ENGINE_MODES:
+            opts = opts.merged(collect_trace=True)
+        record = opts.telemetry != "off"
+        try:
+            if opts.mode in BASELINE_MODES:
+                result = self._execute_baseline(sql, opts.mode, params,
+                                                options=opts)
+            else:
+                result = self._execute_engine(sql, opts, params)
+        except Exception:
+            if record:
+                self._query_telemetry.record_failure(opts.mode)
+            raise
+        if record:
+            self._query_telemetry.record_result(sql, result)
+        else:
+            # Level "off": the executors may still have built a trace for
+            # their own bookkeeping; the result must not surface it.
+            result.query_trace = None
+        return result
+
+    def _execute_engine(self, sql: str, opts: ExecOptions,
+                        params=None) -> QueryResult:
+        """Engine-mode execution through the plan cache."""
         exec_sql, exec_params, hints = sql, params, None
         use_cache_now = opts.use_cache and self.plan_cache.capacity > 0
         auto = (opts.auto_parameterize if opts.auto_parameterize is not None
@@ -518,6 +632,57 @@ class Database:
             # independent cold build instead of blocking on its state.
         prepared = self._build_prepared(exec_sql, parameter_hints=hints)
         return prepared.execute(options=opts, params=exec_params)
+
+    # ------------------------------------------------------------------ #
+    # EXPLAIN / EXPLAIN ANALYZE
+    # ------------------------------------------------------------------ #
+    def explain(self, sql: str, analyze: bool = False,
+                options: Optional[ExecOptions] = None, params=None,
+                **overrides):
+        """The structured :class:`repro.telemetry.ExplainResult` for ``sql``.
+
+        Convenience wrapper over ``execute("EXPLAIN [ANALYZE] ...")``;
+        ``sql`` must *not* already carry the EXPLAIN prefix.
+        """
+        opts = ExecOptions.resolve(options, **overrides)
+        if analyze:
+            return self._explain_analyze(sql, opts, params).explain
+        return self._explain_plan(sql, opts).explain
+
+    def _explain_plan(self, sql: str, opts: ExecOptions) -> QueryResult:
+        """EXPLAIN: plan the statement, return the annotated plan text."""
+        self._validate_options(sql, opts)
+        _, planning, timings = self.prepare(sql)
+        explain = build_explain_plan(sql, planning, opts.mode)
+        return self._explain_to_result(explain, timings, opts.mode)
+
+    def _explain_analyze(self, sql: str, opts: ExecOptions,
+                         params=None) -> QueryResult:
+        """EXPLAIN ANALYZE: execute, then annotate the plan with reality."""
+        inner = self._execute_resolved(
+            sql, opts.merged(collect_operator_stats=True), params)
+        explain = build_explain_analyze(sql, inner)
+        result = self._explain_to_result(explain, inner.timings, inner.mode)
+        result.pipelines = inner.pipelines
+        result.ir_instructions = inner.ir_instructions
+        result.trace = inner.trace
+        result.cached = inner.cached
+        result.early_terminated = inner.early_terminated
+        result.query_trace = inner.query_trace
+        return result
+
+    @staticmethod
+    def _explain_to_result(explain, timings: PhaseTimings,
+                           mode: str) -> QueryResult:
+        lines = explain.render().splitlines()
+        result = QueryResult(
+            column_names=["plan"],
+            column_types=[SQLType.STRING],
+            rows=[(line,) for line in lines],
+            mode=mode,
+            timings=timings)
+        result.explain = explain
+        return result
 
     # ------------------------------------------------------------------ #
     def breaker_partitions_for(self, options: ExecOptions) -> int:
@@ -576,7 +741,9 @@ class Database:
                 ir_instructions=pipeline.function.instruction_count(),
                 breaker_partitions=merge_stats.partitions,
                 breaker_partial_entries=merge_stats.partial_entries,
-                merge_seconds=merge_stats.merge_seconds))
+                merge_seconds=merge_stats.merge_seconds,
+                chunks_scanned=scan.chunks_scanned,
+                chunks_pruned=scan.chunks_pruned))
 
         return self._assemble_result(generated, planning, timings, mode,
                                      pipeline_stats)
@@ -624,12 +791,30 @@ class Database:
                          planning: PlanningResult, timings: PhaseTimings,
                          mode: str,
                          pipeline_stats: list[PipelineExecution],
-                         trace=None) -> QueryResult:
+                         trace=None, query_trace=None) -> QueryResult:
         sink = generated.output_sink
         runtime = generated.runtime
         rows = runtime.finish_output(sink)
         rows = strip_sort_keys(rows, sink)
-        timings.breaker_locks += generated.state.lock_acquisitions
+        state = generated.state
+        timings.breaker_locks += state.lock_acquisitions
+        # Annotate the pipeline stats with the operator chain and sink-side
+        # cardinalities while the execution state is still populated (the
+        # caller resets it right after assembling the result).
+        for stats, pipeline in zip(pipeline_stats, generated.pipelines):
+            physical = pipeline.pipeline
+            stats.description = physical.describe()
+            pipeline_sink = physical.sink
+            if isinstance(pipeline_sink, AggregateSink):
+                stats.rows_out = state.intermediate_rows.get(
+                    pipeline_sink.agg_id)
+            elif isinstance(pipeline_sink, OutputSink):
+                stats.rows_out = len(rows)
+            elif isinstance(pipeline_sink, HashBuildSink) \
+                    and state.collect_operator_stats:
+                parts = state.join_partitions.get(pipeline_sink.join_id, ())
+                stats.rows_out = sum(len(bucket) for part in parts
+                                     for bucket in part.values())
         column_names = [name for name, _ in planning.physical.output_columns]
         column_types = [sql_type for _, sql_type
                         in planning.physical.output_columns]
@@ -642,7 +827,8 @@ class Database:
             pipelines=pipeline_stats,
             ir_instructions=generated.instruction_count,
             trace=trace,
-            early_terminated=generated.state.early_terminated)
+            early_terminated=state.early_terminated,
+            query_trace=query_trace)
 
     # ------------------------------------------------------------------ #
     def _execute_baseline(self, sql: str, mode: str, params=None,
@@ -673,12 +859,22 @@ class Database:
         timings.breaker_partials = getattr(engine, "breaker_partial_entries",
                                            0)
         timings.breaker_merge = getattr(engine, "breaker_merge_seconds", 0.0)
+        pipeline_stats = [
+            PipelineExecution(
+                name=stats.name, rows=stats.rows_in, morsels=0,
+                seconds=stats.seconds, mode_history=[mode],
+                chunks_scanned=stats.chunks_scanned,
+                chunks_pruned=stats.chunks_pruned,
+                description=stats.description,
+                rows_out=stats.rows_out)
+            for stats in getattr(engine, "pipeline_stats", [])]
         column_names = [name for name, _ in planning.physical.output_columns]
         column_types = [sql_type for _, sql_type
                         in planning.physical.output_columns]
         return QueryResult(column_names=column_names,
                            column_types=column_types,
                            rows=rows, mode=mode, timings=timings,
+                           pipelines=pipeline_stats,
                            early_terminated=getattr(engine,
                                                     "early_terminated",
                                                     False))

@@ -56,6 +56,16 @@ class ExecOptions:
     #: breaker's win (benchmarks/bench_topk.py); results are identical
     #: either way.
     use_topk_breaker: bool = True
+    #: Telemetry level of this execution: ``"off"`` records nothing,
+    #: ``"basic"`` (the default) updates the database's metrics registry
+    #: and attaches a lifecycle :class:`repro.telemetry.QueryTrace` to the
+    #: result, ``"trace"`` additionally collects the per-morsel event
+    #: timeline (implies ``collect_trace`` for engine modes).
+    telemetry: str = "basic"
+    #: Collect per-operator cardinalities that are not free to maintain
+    #: (currently: hash-join build-side entry counts).  EXPLAIN ANALYZE
+    #: turns this on for its inner execution; everything else defaults off.
+    collect_operator_stats: bool = False
 
     @classmethod
     def resolve(cls, options: Optional["ExecOptions"] = None,
@@ -129,3 +139,7 @@ class OptionsAccessors:
     @property
     def use_topk_breaker(self) -> bool:
         return self.options.use_topk_breaker
+
+    @property
+    def telemetry(self) -> str:
+        return self.options.telemetry

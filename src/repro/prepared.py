@@ -200,6 +200,8 @@ class PreparedQuery:
         # collection) for this execution.
         self.generated.state.configure_output(
             self.generated.output_sink, use_topk=opts.use_topk_breaker)
+        self.generated.state.collect_operator_stats = \
+            opts.collect_operator_stats
 
         if mode == "adaptive":
             executor = AdaptiveExecutor(

@@ -30,6 +30,7 @@ spawn.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Callable, Optional
 
@@ -61,7 +62,7 @@ class TaskSource:
 class WorkerPool:
     """A fixed-size pool of daemon worker threads shared by all queries."""
 
-    def __init__(self, size: int, name: str = "repro-worker"):
+    def __init__(self, size: int, name: str = "repro-worker", metrics=None):
         self.size = max(int(size), 1)
         self.name = name
         #: The one lock/condition guarding pool *and* source state.
@@ -70,6 +71,28 @@ class WorkerPool:
         self._cursor = 0
         self._threads: list[threading.Thread] = []
         self._closed = False
+        #: Optional pool instruments from the owning database's metrics
+        #: registry (sharded; updates never take a shared lock).
+        self._tasks_counter = (metrics.counter(
+            "pool.tasks_completed",
+            "Tasks run by the worker pool (morsels, merges, admissions)")
+            if metrics is not None else None)
+        self._busy_gauge = (metrics.gauge(
+            "pool.busy_workers", "Workers currently running a task")
+            if metrics is not None else None)
+
+    def _run_task(self, task: Callable[[], None]) -> None:
+        """Run one claimed task with busy/throughput accounting."""
+        busy = self._busy_gauge
+        if busy is not None:
+            busy.inc()
+        try:
+            task()
+        finally:
+            if busy is not None:
+                busy.dec()
+            if self._tasks_counter is not None:
+                self._tasks_counter.inc()
 
     # ------------------------------------------------------------------ #
     @property
@@ -144,7 +167,7 @@ class WorkerPool:
             # Task bodies handle their own errors (see MorselSource); a
             # worker thread must never die to an exception.
             try:
-                task()
+                self._run_task(task)
             except BaseException:  # pragma: no cover - defensive
                 pass
 
@@ -169,7 +192,7 @@ class WorkerPool:
                             break
                         self.condition.wait()
                         continue
-                task()
+                self._run_task(task)
             with self.condition:
                 while not source.finished:
                     self.condition.wait()
@@ -312,12 +335,18 @@ class CompileExecutor:
     database dropped without ``close()`` can never hang interpreter exit.
     """
 
-    def __init__(self, name: str = "repro-compile"):
+    def __init__(self, name: str = "repro-compile", metrics=None):
         self.name = name
         self._condition = threading.Condition()
         self._queue: deque[tuple[Callable[[], None], CompileFuture]] = deque()
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._jobs_counter = (metrics.counter(
+            "compile.jobs", "Background tier-compilation jobs run")
+            if metrics is not None else None)
+        self._seconds_histogram = (metrics.histogram(
+            "compile.seconds", "Wall-clock seconds per compile job")
+            if metrics is not None else None)
 
     @property
     def closed(self) -> bool:
@@ -343,14 +372,18 @@ class CompileExecutor:
         self._run_job(job, future)
         return future
 
-    @staticmethod
-    def _run_job(job: Callable[[], None], future: CompileFuture) -> None:
+    def _run_job(self, job: Callable[[], None],
+                 future: CompileFuture) -> None:
+        start = time.perf_counter()
         try:
             job()
         except BaseException as exc:
             future._exception = exc
         finally:
             future._event.set()
+            if self._jobs_counter is not None:
+                self._jobs_counter.inc()
+                self._seconds_histogram.observe(time.perf_counter() - start)
 
     def _loop(self) -> None:
         while True:

@@ -165,6 +165,18 @@ class QueryScheduler(TaskSource):
         self._stats = SchedulerStats()
         self._closed = False
         self._attached = False
+        #: Latency instruments from the database's metrics registry
+        #: (observed per ticket unless its telemetry level is "off"; the
+        #: lifetime counters in ``SchedulerStats`` are surfaced through
+        #: snapshot-time registry callbacks instead -- zero added cost).
+        metrics = getattr(database, "metrics", None)
+        self._queue_seconds = (metrics.histogram(
+            "scheduler.queue_seconds", "Seconds queued awaiting admission")
+            if metrics is not None else None)
+        self._ticket_seconds = (metrics.histogram(
+            "scheduler.ticket_seconds",
+            "End-to-end seconds from submit to completion")
+            if metrics is not None else None)
 
     # ------------------------------------------------------------------ #
     @property
@@ -207,8 +219,7 @@ class QueryScheduler(TaskSource):
         opts = ExecOptions.resolve(options, mode=mode, threads=threads,
                                    collect_trace=collect_trace,
                                    use_cache=use_cache)
-        self._database._validate_mode(sql, opts.mode, opts.threads,
-                                      opts.collect_trace)
+        self._database._validate_options(sql, opts)
         ticket = QueryTicket(self, sql, opts, params, session)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._pool.condition:
@@ -272,8 +283,13 @@ class QueryScheduler(TaskSource):
     def _run(self, ticket: QueryTicket) -> None:
         result = None
         error: Optional[BaseException] = None
+        observe = (self._queue_seconds is not None
+                   and ticket.options.telemetry != "off")
         try:
             ticket._mark_running()
+            if observe:
+                self._queue_seconds.observe(
+                    ticket.started_at - ticket.submitted_at)
             result = self._database.execute(
                 ticket.sql, options=ticket.options, params=ticket.params)
             result.timings.queue = ticket.started_at - ticket.submitted_at
@@ -299,6 +315,9 @@ class QueryScheduler(TaskSource):
             ticket._resolve(result)
         else:
             ticket._fail(error)
+        if observe and ticket.finished_at is not None:
+            self._ticket_seconds.observe(
+                ticket.finished_at - ticket.submitted_at)
 
     def _cancel(self, ticket: QueryTicket) -> bool:
         with self._pool.condition:

@@ -1,0 +1,61 @@
+"""Engine-wide telemetry: metrics, unified tracing, EXPLAIN ANALYZE.
+
+Three pillars (see DESIGN.md, "Telemetry & tracing"):
+
+* :class:`MetricsRegistry` -- per-database instruments (sharded counters,
+  gauges, log-bucketed histograms; zero shared locks on the hot path) plus
+  snapshot-time callbacks over existing stats carriers.  Exposed as
+  ``Database.metrics``; export with :meth:`MetricsRegistry.to_json_lines`
+  / :meth:`MetricsRegistry.to_prometheus`.
+* :class:`QueryTrace` -- the unified query-lifecycle trace (phase spans,
+  per-morsel events, adaptive tier-switch events with their cost-model
+  trigger), attached to every engine result as ``result.query_trace``.
+* ``EXPLAIN [ANALYZE]`` -- annotated plans through the ordinary statement
+  API, in all execution modes (see :mod:`repro.telemetry.explain`).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    HISTOGRAM_BASE,
+    HISTOGRAM_BUCKETS,
+    bucket_index,
+    bucket_upper_bound,
+)
+from .trace import (
+    ExecutionTrace,
+    QueryTrace,
+    Span,
+    TierSwitchEvent,
+    TraceEvent,
+    render_trace,
+)
+from .explain import (
+    ExplainResult,
+    PipelineAnnotation,
+    build_explain_analyze,
+    build_explain_plan,
+    split_explain,
+)
+from .export import (
+    prometheus_name,
+    snapshot_to_json_lines,
+    snapshot_to_prometheus,
+    trace_to_json,
+)
+from .recorder import QueryTelemetry, TELEMETRY_LEVELS
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "HISTOGRAM_BASE", "HISTOGRAM_BUCKETS",
+    "bucket_index", "bucket_upper_bound",
+    "ExecutionTrace", "QueryTrace", "Span", "TierSwitchEvent",
+    "TraceEvent", "render_trace",
+    "ExplainResult", "PipelineAnnotation", "build_explain_analyze",
+    "build_explain_plan", "split_explain",
+    "prometheus_name", "snapshot_to_json_lines", "snapshot_to_prometheus",
+    "trace_to_json",
+    "QueryTelemetry", "TELEMETRY_LEVELS",
+]

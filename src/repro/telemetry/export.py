@@ -1,0 +1,105 @@
+"""Metric snapshot exporters: JSON lines and Prometheus text format.
+
+Both operate on a *flat* snapshot (``dotted name -> value``) as produced
+by :meth:`repro.telemetry.MetricsRegistry.flat_snapshot`, so they can also
+serialize externally assembled values.  Histograms arrive as the nested
+dicts their ``snapshot()`` produces and are expanded into the idiomatic
+form of each format (one JSON object per metric; Prometheus
+``_bucket{le=...}`` / ``_sum`` / ``_count`` series).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Optional
+
+from .metrics import bucket_upper_bound
+
+#: Prefix of every exported Prometheus metric name.
+PROMETHEUS_PREFIX = "repro_"
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _is_histogram_snapshot(value) -> bool:
+    return (isinstance(value, dict)
+            and "buckets" in value and "count" in value and "sum" in value)
+
+
+def snapshot_to_json_lines(flat: dict) -> str:
+    """One JSON object per line: ``{"name": ..., ...value fields}``.
+
+    Scalar metrics serialize as ``{"name": n, "value": v}``; histograms
+    inline their summary fields (count/sum/mean/p50/p95/p99/buckets).
+    """
+    lines = []
+    for name in sorted(flat):
+        value = flat[name]
+        if _is_histogram_snapshot(value):
+            record = {"name": name}
+            record.update(value)
+        else:
+            record = {"name": name, "value": value}
+        lines.append(json.dumps(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto a valid Prometheus metric name."""
+    return PROMETHEUS_PREFIX + _NAME_SANITIZE.sub("_", name.replace(".", "_"))
+
+
+def snapshot_to_prometheus(flat: dict, registry=None) -> str:
+    """Render a flat snapshot in the Prometheus text exposition format.
+
+    Histogram metrics become cumulative ``_bucket{le="..."}`` series plus
+    ``_sum`` and ``_count``, matching the native Prometheus histogram
+    type; scalar metrics become plain samples.  Non-numeric callback
+    values are skipped (Prometheus samples must be numbers).
+    """
+    lines: list[str] = []
+    for name in sorted(flat):
+        value = flat[name]
+        metric = prometheus_name(name)
+        if _is_histogram_snapshot(value):
+            instrument = registry.get(name) if registry is not None else None
+            description = getattr(instrument, "description", "") or ""
+            if description:
+                lines.append(f"# HELP {metric} {description}")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for index, count in enumerate(value["buckets"]):
+                cumulative += count
+                bound = bucket_upper_bound(index)
+                le = "+Inf" if bound == float("inf") else repr(bound)
+                lines.append(
+                    f'{metric}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{metric}_sum {value['sum']}")
+            lines.append(f"{metric}_count {value['count']}")
+            continue
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            continue
+        instrument = registry.get(name) if registry is not None else None
+        description = getattr(instrument, "description", "") or ""
+        if description:
+            lines.append(f"# HELP {metric} {description}")
+        kind = ("counter" if type(instrument).__name__ == "Counter"
+                else "gauge")
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_to_json(trace, indent: Optional[int] = None) -> str:
+    """Serialize a :class:`repro.telemetry.QueryTrace` (or duck) to JSON."""
+    to_json = getattr(trace, "to_json", None)
+    if to_json is not None:
+        return to_json(indent=indent)
+    return json.dumps(trace, indent=indent)
+
+
+__all__ = ["snapshot_to_json_lines", "snapshot_to_prometheus",
+           "prometheus_name", "trace_to_json", "PROMETHEUS_PREFIX"]

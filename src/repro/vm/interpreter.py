@@ -18,10 +18,10 @@ Semantics notes:
 
 from __future__ import annotations
 
-import threading
 from typing import Optional, Sequence
 
 from ..errors import DivisionByZeroError, ExecutionError, OverflowError_, VMError
+from ..telemetry.metrics import Counter
 from .bytecode import BytecodeFunction
 from .opcodes import Opcode
 
@@ -47,12 +47,16 @@ class VirtualMachine:
 
     def __init__(self, trace: bool = False):
         self.trace = trace
-        #: Total number of bytecode instructions executed (for tests/benches).
-        #: Updated under a lock: one VM instance is shared by all worker
-        #: threads of a database, and ``+=`` on a plain attribute would lose
-        #: counts when concurrent queries finish morsels simultaneously.
-        self.instructions_executed = 0
-        self._stats_lock = threading.Lock()
+        #: Sharded instruction counter: one VM instance is shared by all
+        #: worker threads of a database, so each thread accumulates into
+        #: its own cell and reads merge the cells -- exact totals without
+        #: the per-call lock this counter historically took.
+        self._instructions = Counter("vm.instructions")
+
+    @property
+    def instructions_executed(self) -> int:
+        """Total bytecode instructions executed (merged over all threads)."""
+        return self._instructions.value
 
     # ------------------------------------------------------------------ #
     # execution
@@ -295,5 +299,4 @@ class VirtualMachine:
                 else:  # pragma: no cover - defensive
                     raise VMError(f"unknown opcode {op}")
         finally:
-            with self._stats_lock:
-                self.instructions_executed += executed
+            self._instructions.inc(executed)

@@ -17,10 +17,10 @@ It is used for two purposes:
 
 from __future__ import annotations
 
-import threading
 from typing import Optional, Sequence
 
 from ..errors import DivisionByZeroError, ExecutionError, OverflowError_, VMError
+from ..telemetry.metrics import Counter
 from ..ir.function import ExternFunction, Function
 from ..ir.instructions import (
     BinaryInst,
@@ -58,10 +58,15 @@ class IRInterpreter:
     """Direct interpretation of IR functions (slow by design)."""
 
     def __init__(self):
-        #: Updated under a lock, mirroring :class:`VirtualMachine`: an
-        #: interpreter instance may serve morsels on several pool workers.
-        self.instructions_executed = 0
-        self._stats_lock = threading.Lock()
+        #: Sharded counter, mirroring :class:`VirtualMachine`: an
+        #: interpreter instance may serve morsels on several pool workers,
+        #: so each thread accumulates into its own cell.
+        self._instructions = Counter("ir.instructions")
+
+    @property
+    def instructions_executed(self) -> int:
+        """Total IR instructions executed (merged over all threads)."""
+        return self._instructions.value
 
     def execute(self, function: Function,
                 args: Sequence[object] = ()) -> Optional[object]:
@@ -112,8 +117,7 @@ class IRInterpreter:
                         f"without a terminator")
                 previous_block, block = block, next_block
         finally:
-            with self._stats_lock:
-                self.instructions_executed += executed
+            self._instructions.inc(executed)
 
     # ------------------------------------------------------------------ #
     # helpers
