@@ -1,0 +1,274 @@
+"""Network serving throughput: wire-protocol clients vs in-process submit.
+
+PR 8 put a TCP front end (:class:`repro.server.QueryServer` + the blocking
+client library) over the scheduler.  This benchmark measures what the wire
+costs on the interactive, many-client workload the serving layer exists
+for -- N concurrent client connections each running a stream of
+parameterized prepared queries:
+
+* ``in-process``  -- N sessions submit the same stream straight through
+  ``Database.submit`` (the PR 5/6 serving path, no network).
+* ``wire``        -- N real TCP connections: prepare once per connection,
+  then execute with per-request parameters; results stream back in
+  ROW_BATCH frames.
+
+Reported per configuration: sustained queries/sec over the whole run plus
+p50/p99 per-request latency.  The assertion is an honesty bound rather
+than a speedup: localhost framing + asyncio dispatch may cost at most 15x
+of the in-process path on the tiny CI workload (the gap shrinks as
+queries grow; the wire adds per-request overhead, not per-row overhead),
+and every wire result must match its in-process reference exactly.  The
+run also verifies the serving metrics (requests served, connections
+accepted) and that the server tears down without leaking threads.
+
+Run as a script (CI smoke, tiny scale): ``python benchmarks/bench_serving_throughput.py``
+Run under pytest for the benchmark fixture: ``pytest benchmarks/bench_serving_throughput.py``
+Environment: ``REPRO_BENCH_TINY=1`` shrinks the workload, ``REPRO_BENCH_FULL=1`` grows it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for _path in (os.path.join(os.path.dirname(_HERE), "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro import Database, SQLType, connect  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+ROWS = 1_200 if TINY else (8_000 if FULL else 2_500)
+CLIENTS = 8
+QUERIES_PER_CLIENT = 4 if TINY else 16
+WORKERS = 4
+
+#: One parameterized hot shape per benchmark: every client prepares it once
+#: and executes it with shifting parameters, so the plan cache serves all
+#: connections from a single entry while the *results* differ per request.
+PARAM_SQL = ("select category, sum(price) as total, count(*) as n "
+             "from orders where o_id >= :lo and o_id < :hi "
+             "group by category order by category")
+
+#: Honesty bound for the wire-overhead ratio on the tiny CI workload (see
+#: module docstring): localhost round trip + framing vs a function call.
+MAX_WIRE_SLOWDOWN = 15.0
+
+
+def build_database(**kwargs) -> Database:
+    db = Database(morsel_size=4096, workers=WORKERS, **kwargs)
+    db.create_table("orders", [("o_id", SQLType.INT64),
+                               ("category", SQLType.INT64),
+                               ("price", SQLType.FLOAT64)])
+    db.insert("orders", [(i, i % 11, (i * 37 % 1000) / 10.0)
+                         for i in range(ROWS)])
+    return db
+
+
+def client_params(client: int, run: int) -> dict:
+    span = max(ROWS // 2, 1)
+    lo = (client * 131 + run * 17) % span
+    return {"lo": lo, "hi": lo + span}
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+# --------------------------------------------------------------------------- #
+# measurements
+# --------------------------------------------------------------------------- #
+def measure_in_process(db: Database) -> tuple[float, list[float], list]:
+    """N sessions submit the stream via Database.submit; per-query latency."""
+    latencies: list[float] = []
+    results: list = []
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def client_main(client: int) -> None:
+        try:
+            session = db.session(name=f"inproc-{client}")
+            local = []
+            for run in range(QUERIES_PER_CLIENT):
+                begin = time.perf_counter()
+                ticket = session.submit(PARAM_SQL,
+                                        params=client_params(client, run))
+                rows = ticket.result(timeout=300).rows
+                local.append((time.perf_counter() - begin,
+                              client, run, rows))
+            with lock:
+                for latency, c, r, rows in local:
+                    latencies.append(latency)
+                    results.append((c, r, rows))
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    wall = _run_clients(client_main)
+    if errors:
+        raise errors[0]
+    return wall, latencies, results
+
+
+def measure_wire(db: Database) -> tuple[float, list[float], list]:
+    """N TCP connections run the same stream through prepared statements."""
+    server = db.serve()
+    latencies: list[float] = []
+    results: list = []
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def client_main(client: int) -> None:
+        try:
+            conn = connect(*server.address, session_name=f"wire-{client}")
+            try:
+                stmt = conn.prepare(PARAM_SQL)
+                local = []
+                for run in range(QUERIES_PER_CLIENT):
+                    begin = time.perf_counter()
+                    rows = stmt.execute(params=client_params(client, run),
+                                        timeout=300).rows
+                    local.append((time.perf_counter() - begin,
+                                  client, run, rows))
+                with lock:
+                    for latency, c, r, rows in local:
+                        latencies.append(latency)
+                        results.append((c, r, rows))
+            finally:
+                conn.close()
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    try:
+        wall = _run_clients(client_main)
+    finally:
+        server.close()
+    if errors:
+        raise errors[0]
+    return wall, latencies, results
+
+
+def _run_clients(client_main) -> float:
+    threads = [threading.Thread(target=client_main, args=(client,))
+               for client in range(CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------- #
+def run_benchmark(report=print) -> dict:
+    from conftest import fmt_ms, print_table
+
+    threads_before = threading.active_count()
+    db = build_database()
+    try:
+        total = CLIENTS * QUERIES_PER_CLIENT
+        # Warm the single hot plan so both configurations measure serving,
+        # not first-compile cost.
+        db.execute(PARAM_SQL, params=client_params(0, 0))
+
+        inproc_wall, inproc_lat, inproc_results = measure_in_process(db)
+        wire_wall, wire_lat, wire_results = measure_wire(db)
+
+        # Correctness before numbers: every wire result must equal its
+        # in-process reference for the same (client, run) parameters.
+        reference = {(c, r): rows for c, r, rows in inproc_results}
+        mismatches = sum(1 for c, r, rows in wire_results
+                         if reference[(c, r)] != rows)
+
+        rows_out = []
+        stats = {}
+        for label, wall, lat in (("in-process", inproc_wall, inproc_lat),
+                                 ("wire", wire_wall, wire_lat)):
+            ordered = sorted(lat)
+            qps = total / wall
+            p50 = percentile(ordered, 0.50)
+            p99 = percentile(ordered, 0.99)
+            rows_out.append([label, fmt_ms(wall), f"{qps:.1f}",
+                             fmt_ms(p50), fmt_ms(p99)])
+            stats[label] = {"wall": wall, "qps": qps, "p50": p50, "p99": p99}
+        print_table(
+            f"Serving throughput ({CLIENTS} clients x {QUERIES_PER_CLIENT} "
+            f"prepared queries, {WORKERS}-worker pool, {ROWS} rows)",
+            ["configuration", "wall ms", "queries/s", "p50 ms", "p99 ms"],
+            rows_out)
+
+        slowdown = stats["in-process"]["qps"] / max(stats["wire"]["qps"],
+                                                    1e-9)
+        executed = db.metrics.get(
+            "server.requests_total.execute").value
+        connections = db.metrics.get("server.connections_total").value
+        report(f"wire overhead {slowdown:.2f}x vs in-process "
+               f"(bound {MAX_WIRE_SLOWDOWN}x); "
+               f"{mismatches} result mismatches; "
+               f"server counted {executed} executes over "
+               f"{connections} connections")
+        return {"slowdown": slowdown, "mismatches": mismatches,
+                "executes": executed, "connections": connections,
+                "threads_before": threads_before, **stats}
+    finally:
+        db.close()
+
+
+def check(metrics: dict) -> bool:
+    total = CLIENTS * QUERIES_PER_CLIENT
+    return (metrics["mismatches"] == 0
+            and metrics["slowdown"] <= MAX_WIRE_SLOWDOWN
+            and metrics["executes"] == total
+            and metrics["connections"] == CLIENTS)
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+def test_serving_throughput_matches_in_process():
+    before = threading.active_count()
+    metrics = run_benchmark()
+    assert check(metrics), metrics
+    # The serving stack must tear down completely: no leaked server loop,
+    # reader, pool, or compile threads after db.close().
+    deadline = time.monotonic() + 10
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert threading.active_count() <= before
+
+
+def test_wire_prepared_roundtrip_latency(benchmark):
+    db = build_database()
+    server = db.serve()
+    try:
+        conn = connect(*server.address)
+        try:
+            stmt = conn.prepare(PARAM_SQL)
+            stmt.execute(params=client_params(0, 0), timeout=300)  # warm
+
+            def round_trip():
+                return stmt.execute(params=client_params(0, 1), timeout=300)
+
+            result = benchmark(round_trip)
+            assert result.cached
+        finally:
+            conn.close()
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":
+    metrics = run_benchmark()
+    ok = check(metrics)
+    print(f"\nwire slowdown {metrics['slowdown']:.2f}x "
+          f"(<= {MAX_WIRE_SLOWDOWN}x required), "
+          f"{metrics['mismatches']} mismatches -- "
+          f"{'PASS' if ok else 'FAIL'}")
+    sys.exit(0 if ok else 1)

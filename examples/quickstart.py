@@ -11,7 +11,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
-from repro import Database, ExecOptions, SQLType
+from repro import Database, ExecOptions, SQLType, connect
 
 
 def main() -> None:
@@ -165,7 +165,34 @@ def main() -> None:
     prometheus = db.metrics.to_prometheus()
     print(f"prometheus export: {len(prometheus.splitlines())} lines "
           f"(first: {prometheus.splitlines()[0]!r})")
-    db.close()  # joins the worker pool and compile thread
+
+    # --- network serving: TCP server + blocking client ---------------------
+    # Database.serve() starts an asyncio TCP server over the scheduler
+    # (port=0 binds an ephemeral port); repro.connect() is the matching
+    # client library.  Prepared statements live server-side per connection
+    # but share the engine's plan cache across all of them; admission
+    # control surfaces to clients as BUSY protocol errors instead of
+    # unbounded queueing, and results stream back in bounded row batches.
+    print("\nnetwork serving:")
+    server = db.serve()
+    conn = connect(*server.address, session_name="quickstart")
+    stmt = conn.prepare("select count(*) as n, sum(o_total) as revenue "
+                        "from orders where o_customer < :c")
+    print(f"  prepared statement {stmt.statement_id}: "
+          f"params={[(n, t.value) for n, t in stmt.parameters]}")
+    for c in (50, 150):
+        wired = stmt.execute(params={"c": c}, timeout=60)
+        print(f"  c<{c}: rows={wired.rows[0][0]:6d}  mode={wired.mode}  "
+              f"cached={wired.cached}")
+    adhoc = conn.execute("select max(o_total) as m from orders",
+                         mode="volcano", timeout=60)
+    print(f"  ad-hoc over the wire (volcano): {adhoc.rows[0][0]:.2f}")
+    print(f"  server metrics: "
+          f"{db.metrics.get('server.requests_total.execute').value} "
+          f"executes, "
+          f"{db.metrics.get('server.bytes_sent').value} bytes sent")
+    conn.close()
+    db.close()  # drains the server, then joins the pool + compile thread
 
 
 if __name__ == "__main__":

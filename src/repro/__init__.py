@@ -37,10 +37,26 @@ from .cache import (
     auto_parameterize_sql,
     normalize_sql,
 )
-from .errors import ParameterError, ReproError, SQLError
+from .client import (
+    ClientConnection,
+    ClientResult,
+    PendingResult,
+    PreparedStatement,
+    connect,
+)
+from .errors import (
+    AuthenticationError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    ServerBusyError,
+    ServerError,
+    SQLError,
+)
 from .options import ExecOptions
 from .parameters import ParameterSpec
 from .prepared import PreparedQuery
+from .server import QueryServer
 from .scheduler import (
     QueryScheduler,
     QueryTicket,
@@ -62,7 +78,7 @@ from .telemetry import (
 )
 from .types import SQLType
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Database", "QueryResult", "PhaseTimings", "PipelineExecution",
@@ -71,9 +87,13 @@ __all__ = [
     "ExecOptions", "ParameterSpec",
     "QueryScheduler", "QueryTicket", "SchedulerStats", "TicketState",
     "Session", "SessionStats", "WorkerPool",
+    "QueryServer", "connect", "ClientConnection", "ClientResult",
+    "PendingResult", "PreparedStatement",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "QueryTrace", "Span", "TierSwitchEvent", "ExplainResult",
     "SQLType", "ReproError", "SQLError", "ParameterError",
+    "ProtocolError", "ServerError", "AuthenticationError",
+    "ServerBusyError",
     "ENGINE_MODES", "BASELINE_MODES", "DEFAULT_MORSEL_SIZE",
     "__version__",
 ]

@@ -260,6 +260,7 @@ class Database:
         self._pool: Optional[WorkerPool] = None
         self._compile_executor: Optional[CompileExecutor] = None
         self._scheduler: Optional[QueryScheduler] = None
+        self._servers: list = []
         self._closed = False
         #: Per-database metrics registry (``db.metrics.snapshot()`` /
         #: ``to_prometheus()`` / ``to_json_lines()``) and the query
@@ -377,27 +378,78 @@ class Database:
                        collect_trace=collect_trace, use_cache=use_cache,
                        name=name, options=options)
 
-    def close(self) -> None:
-        """Shut down the scheduler, worker pool and compile thread.
+    def serve(self, host: str = "127.0.0.1", port: int = 0,
+              auth_token: Optional[str] = None, **kwargs):
+        """Start a :class:`repro.server.QueryServer` over this database.
 
-        Idempotent.  Pending (not yet started) submissions are cancelled;
-        running queries finish first.  Synchronous ``execute`` keeps
-        working afterwards (parallel executions lazily restart a pool), but
-        ``submit`` and ``session`` raise.
+        Binds ``host:port`` (``port=0`` picks an ephemeral port -- read it
+        back from ``server.port``) and returns the started server.  Every
+        accepted connection gets its own :class:`~repro.scheduler.Session`
+        and prepared-statement registry; execution flows through
+        :meth:`submit`, so admission control surfaces to clients as BUSY
+        frames.  The server is closed by :meth:`close` (servers first, so
+        wire traffic drains before the scheduler shuts down) or by its own
+        ``close()``.
+        """
+        from .server import QueryServer
+
+        with self._runtime_lock:
+            if self._closed:
+                raise SchedulerError("database is closed")
+        server = QueryServer(self, host=host, port=port,
+                             auth_token=auth_token, **kwargs)
+        with self._runtime_lock:
+            self._servers.append(server)
+        try:
+            server.start()
+        except BaseException:
+            self._unregister_server(server)
+            raise
+        return server
+
+    def _unregister_server(self, server) -> None:
+        with self._runtime_lock:
+            if server in self._servers:
+                self._servers.remove(server)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Shut down servers, scheduler, worker pool and compile thread.
+
+        Idempotent and safe while queries are in flight: network servers
+        drain first (in-flight wire requests finish or are cancelled at
+        their drain deadline), then the scheduler cancels pending
+        submissions and waits for running queries, then the pool and the
+        compile thread stop.  ``timeout`` bounds the total wait -- when the
+        deadline passes, whatever still runs is cancelled or abandoned to
+        the daemon threads instead of blocking the caller forever.
+        Synchronous ``execute`` keeps working afterwards (parallel
+        executions lazily restart a pool), but ``submit``, ``session`` and
+        ``serve`` raise.  A second ``close`` is a no-op.
         """
         with self._runtime_lock:
             if self._closed:
                 return
             self._closed = True
+            servers = list(self._servers)
             scheduler = self._scheduler
             pool = self._pool
             compile_executor = self._compile_executor
+        deadline = (None if timeout is None
+                    else time.monotonic() + max(float(timeout), 0.0))
+
+        def remaining() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(deadline - time.monotonic(), 0.0)
+
+        for server in servers:
+            server.close(timeout=remaining())
         if scheduler is not None:
-            scheduler.close(wait=True)
+            scheduler.close(wait=True, timeout=remaining())
         if pool is not None:
-            pool.close(wait=True)
+            pool.close(wait=True, timeout=remaining())
         if compile_executor is not None:
-            compile_executor.close(wait=True)
+            compile_executor.close(wait=True, timeout=remaining())
 
     def __enter__(self) -> "Database":
         return self

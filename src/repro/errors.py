@@ -103,3 +103,45 @@ class AdmissionError(SchedulerError):
 
 class QueryCancelledError(SchedulerError):
     """The result of a cancelled query ticket was requested."""
+
+
+class ProtocolError(ReproError):
+    """The network wire protocol was violated (bad frame, bad handshake).
+
+    Raised by the frame codecs for malformed, oversized or truncated
+    frames, and by both endpoints when the peer breaks the connection
+    state machine (e.g. a request before the HELLO handshake).
+    """
+
+
+class ServerError(ReproError):
+    """A failure reported by the query server over the wire.
+
+    ``code`` is the machine-readable error class from the ERROR frame
+    (``"SQL"``, ``"EXECUTION"``, ``"BUSY"``, ...); ``message`` carries the
+    server-side exception text.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class AuthenticationError(ServerError):
+    """The server rejected the connection's HELLO credentials."""
+
+    def __init__(self, message: str):
+        super().__init__("AUTH", message)
+
+
+class ServerBusyError(ServerError):
+    """Admission control rejected the request (wire-level backpressure).
+
+    ``retry_after_ms`` is the server's hint for how long to back off
+    before resubmitting.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = 0):
+        super().__init__("BUSY", message)
+        self.retry_after_ms = int(retry_after_ms)

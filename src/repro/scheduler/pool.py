@@ -211,15 +211,30 @@ class WorkerPool:
         source.raise_failure()
 
     # ------------------------------------------------------------------ #
-    def close(self, wait: bool = True) -> None:
-        """Shut the pool down; idempotent."""
+    def close(self, wait: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Shut the pool down; idempotent.
+
+        ``timeout`` bounds the join over all workers (``None`` waits
+        indefinitely).  A worker still inside a long task when the deadline
+        passes is left to drain on its own -- the threads are daemonic, so
+        they can never hang interpreter exit.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + max(timeout, 0.0))
         with self.condition:
             self._closed = True
             self.condition.notify_all()
             threads = list(self._threads)
         if wait:
             for thread in threads:
-                thread.join()
+                if deadline is None:
+                    thread.join()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                thread.join(remaining)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"{self.alive_workers()} alive"
@@ -396,14 +411,20 @@ class CompileExecutor:
             self._run_job(job, future)
 
     # ------------------------------------------------------------------ #
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting jobs; the thread drains the queue, then exits."""
+    def close(self, wait: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Stop accepting jobs; the thread drains the queue, then exits.
+
+        ``timeout`` bounds the join (``None`` waits indefinitely); the
+        compile thread is daemonic, so an expired deadline just stops
+        waiting for the drain.
+        """
         with self._condition:
             self._closed = True
             self._condition.notify_all()
             thread = self._thread
         if wait and thread is not None:
-            thread.join()
+            thread.join(timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<CompileExecutor pending={self.pending()}>"

@@ -61,6 +61,8 @@ class QueryTicket(OptionsAccessors):
         self._event = threading.Event()
         self._result = None
         self._error: Optional[BaseException] = None
+        self._callback_lock = threading.Lock()
+        self._callbacks: list[Callable[["QueryTicket"], None]] = []
 
     # ------------------------------------------------------------------ #
     @property
@@ -105,6 +107,36 @@ class QueryTicket(OptionsAccessors):
         """
         return self._scheduler._cancel(self)
 
+    def add_done_callback(self, callback: Callable[["QueryTicket"], None]
+                          ) -> None:
+        """Invoke ``callback(ticket)`` once the ticket completes.
+
+        The bridge for event-driven callers (the asyncio network server):
+        instead of blocking a thread in :meth:`result`, register a callback
+        and resolve a future from it.  Callbacks run on the scheduler's
+        worker thread (or the canceller's thread), immediately after the
+        completion event fires -- or synchronously here when the ticket is
+        already done.  They must be cheap and must not raise; exceptions
+        are swallowed so ticket resolution can never be derailed.
+        """
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        self._invoke_callback(callback)
+
+    def _invoke_callback(self, callback) -> None:
+        try:
+            callback(self)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _run_callbacks(self) -> None:
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._invoke_callback(callback)
+
     # ------------------------------------------------------------------ #
     # scheduler-side transitions
     # ------------------------------------------------------------------ #
@@ -117,17 +149,20 @@ class QueryTicket(OptionsAccessors):
         self._result = result
         self._state = TicketState.DONE
         self._event.set()
+        self._run_callbacks()
 
     def _fail(self, error: BaseException) -> None:
         self.finished_at = time.perf_counter()
         self._error = error
         self._state = TicketState.FAILED
         self._event.set()
+        self._run_callbacks()
 
     def _mark_cancelled(self) -> None:
         self.finished_at = time.perf_counter()
         self._state = TicketState.CANCELLED
         self._event.set()
+        self._run_callbacks()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<QueryTicket {self._state.value} mode={self.mode!r} "
@@ -337,8 +372,17 @@ class QueryScheduler(TaskSource):
         return True
 
     # ------------------------------------------------------------------ #
-    def close(self, wait: bool = True) -> None:
-        """Stop admitting queries; cancel queued ones; wait for running."""
+    def close(self, wait: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Stop admitting queries; cancel queued ones; wait for running.
+
+        ``timeout`` bounds the wait for in-flight queries (``None`` waits
+        indefinitely).  Queries still running when the deadline passes are
+        left to finish on the pool -- they complete their tickets normally,
+        the scheduler just stops waiting for them.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + max(timeout, 0.0))
         with self._pool.condition:
             if not self._closed:
                 self._closed = True
@@ -352,7 +396,13 @@ class QueryScheduler(TaskSource):
                 cancelled = []
             if wait:
                 while self._running > 0:
-                    self._pool.condition.wait()
+                    if deadline is None:
+                        self._pool.condition.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._pool.condition.wait(remaining)
         for ticket in cancelled:
             if ticket.session is not None:
                 ticket.session._record_cancelled()

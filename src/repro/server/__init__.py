@@ -1,0 +1,38 @@
+"""Network serving front end: asyncio wire protocol over the scheduler.
+
+The package that turns the engine into a reachable service:
+
+* :mod:`repro.server.protocol` -- the length-prefixed binary frame codec
+  shared by the server and the blocking client (:mod:`repro.client`).
+* :class:`QueryServer` -- the asyncio TCP server; one engine
+  :class:`~repro.scheduler.Session` and prepared-statement registry per
+  connection, ``Database.submit`` admission control surfaced as explicit
+  ``BUSY`` backpressure frames, bounded result-batch streaming, graceful
+  drain on shutdown.
+
+``Database.serve()`` is the user-facing entry point (see
+:mod:`repro.engine`); ``repro.client.connect()`` is the matching client.
+"""
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_header,
+    decode_payload,
+    decode_result_rows,
+    encode_frame,
+)
+from .server import (
+    DEFAULT_BATCH_ROWS,
+    MAX_BATCH_ROWS,
+    QueryServer,
+    error_code_for,
+)
+
+__all__ = [
+    "QueryServer",
+    "DEFAULT_BATCH_ROWS", "MAX_BATCH_ROWS",
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
+    "encode_frame", "decode_header", "decode_payload",
+    "decode_result_rows", "error_code_for",
+]

@@ -1,0 +1,530 @@
+"""Integration tests of the network serving front end.
+
+A real :class:`repro.server.QueryServer` on an ephemeral localhost port,
+exercised through the blocking client library and -- for the protocol
+edge cases -- through raw sockets.  Covered here:
+
+* end-to-end correctness: many concurrent client connections running
+  parameterized prepared queries across all execution modes, compared
+  against in-process ``db.execute``,
+* authentication rejection, malformed and oversized frames,
+* admission-control backpressure surfacing as BUSY protocol errors,
+* CANCEL semantics (pending query cancelled vs. racing completion),
+* client disconnect mid-request releasing the admission slot,
+* concurrent sessions sharing one prepared shape through the plan cache,
+* graceful shutdown: ``Database.close`` drains servers first, is safe
+  while queries are in flight, leaks no threads or sockets, and a second
+  close is a no-op.
+
+Determinism: the scheduler-pressure tests park a ``_Blocker`` task source
+on a one-worker pool, so the admission queue fills and drains exactly on
+cue instead of depending on query timing.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro import Database, SQLType, connect
+from repro.errors import (AuthenticationError, ProtocolError,
+                          QueryCancelledError, ServerBusyError)
+from repro.server import protocol
+from repro.server.protocol import (FRAME_HEADER, FRAME_HEADER_BYTES,
+                                   MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                   decode_header, decode_payload,
+                                   encode_frame)
+from repro.scheduler import TaskSource
+
+
+def build_db(rows: int = 400, **kwargs) -> Database:
+    kwargs.setdefault("workers", 2)
+    db = Database(morsel_size=64, **kwargs)
+    db.create_table("t", [("a", SQLType.INT64), ("b", SQLType.FLOAT64),
+                          ("s", SQLType.STRING)])
+    db.insert("t", [(i, i * 0.5, f"row-{i % 10}") for i in range(rows)])
+    return db
+
+
+@pytest.fixture()
+def served_db():
+    db = build_db()
+    server = db.serve()
+    yield db, server
+    db.close()
+
+
+class _Blocker(TaskSource):
+    """Occupies ``count`` pool workers until ``release`` is set."""
+
+    def __init__(self, count: int):
+        self._remaining = count
+        self.release = threading.Event()
+        self.started = threading.Semaphore(0)
+
+    def claim(self):
+        if self._remaining == 0:
+            return None
+        self._remaining -= 1
+
+        def task():
+            self.started.release()
+            self.release.wait()
+
+        return task
+
+    @property
+    def exhausted(self):
+        return self._remaining == 0
+
+
+@pytest.fixture()
+def blocked_db():
+    """A served database whose single pool worker is parked on a blocker.
+
+    Submitted queries stay PENDING until ``blocker.release`` fires, so the
+    admission queue (``max_pending=1``) fills deterministically.
+    """
+    db = build_db(rows=50, workers=1, max_concurrent=1, max_pending=1)
+    blocker = _Blocker(1)
+    db.worker_pool.attach(blocker)
+    assert blocker.started.acquire(timeout=5)
+    server = db.serve()
+    yield db, server, blocker
+    blocker.release.set()
+    db.worker_pool.detach(blocker)
+    db.close()
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    data = b""
+    while len(data) < count:
+        chunk = sock.recv(count - len(data))
+        if not chunk:
+            raise ConnectionError("peer closed")
+        data += chunk
+    return data
+
+
+def _read_raw_frame(sock: socket.socket):
+    length, frame_type = decode_header(
+        _recv_exactly(sock, FRAME_HEADER_BYTES))
+    payload = _recv_exactly(sock, length) if length else b""
+    return decode_payload(frame_type, payload)
+
+
+def _raw_handshake(server, token: str = "") -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=10)
+    sock.settimeout(10)
+    sock.sendall(encode_frame(protocol.Hello(token=token)))
+    frame = _read_raw_frame(sock)
+    assert isinstance(frame, protocol.Welcome)
+    return sock
+
+
+def _wait_until(predicate, timeout: float = 10.0, message: str = ""):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError(message or "condition not reached in time")
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end correctness
+# ---------------------------------------------------------------------- #
+ALL_MODES = ("adaptive", "bytecode", "unoptimized", "optimized",
+             "volcano", "vectorized")
+PARAM_SQL = ("select s, count(*) as n, sum(b) as total from t "
+             "where a >= :lo and a < :hi group by s order by s")
+
+
+def test_e2e_concurrent_clients_match_in_process_execution(served_db):
+    db, server = served_db
+    expected = {}
+    for client in range(8):
+        lo, hi = client * 10, client * 10 + 200
+        expected[client] = db.execute(PARAM_SQL,
+                                      params={"lo": lo, "hi": hi}).rows
+
+    baseline_threads = set(threading.enumerate())
+    errors: list[BaseException] = []
+
+    def client_main(client: int) -> None:
+        try:
+            conn = connect(*server.address, session_name=f"c{client}")
+            try:
+                stmt = conn.prepare(PARAM_SQL)
+                assert stmt.column_names == ["s", "n", "total"]
+                assert [t.value for t in stmt.column_types] == [
+                    "string", "int64", "float64"]
+                lo, hi = client * 10, client * 10 + 200
+                for run in range(6):
+                    mode = ALL_MODES[(client + run) % len(ALL_MODES)]
+                    result = stmt.execute(params={"lo": lo, "hi": hi},
+                                          timeout=60, mode=mode)
+                    assert result.mode == mode
+                    assert result.rows == expected[client], (
+                        f"client {client} mode {mode} diverged")
+                stmt.close()
+            finally:
+                conn.close()
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client_main, args=(i,))
+               for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert not errors, errors[0]
+    assert db.metrics.get("server.connections_total").value >= 8
+
+    # Graceful shutdown: server drains, scheduler/pool stop, and every
+    # thread the serving stack spawned is gone again.
+    db.close()
+    assert server.closed
+    _wait_until(lambda: set(threading.enumerate()) <= baseline_threads,
+                message=f"leaked threads: "
+                        f"{set(threading.enumerate()) - baseline_threads}")
+    with pytest.raises(ConnectionError):
+        socket.create_connection(server.address, timeout=2)
+
+
+def test_adhoc_sql_and_batched_streaming(served_db):
+    db, server = served_db
+    conn = connect(*server.address)
+    try:
+        # batch_rows=7 forces multiple ROW_BATCH frames for 400 rows.
+        result = conn.execute("select a, b, s from t order by a",
+                              timeout=60, batch_rows=7)
+        assert result.rows == db.execute(
+            "select a, b, s from t order by a").rows
+        assert len(result) == 400
+    finally:
+        conn.close()
+
+
+def test_positional_parameters_and_decoded_rows(served_db):
+    db, server = served_db
+    db.create_table("flags", [("id", SQLType.INT64), ("ok", SQLType.BOOL),
+                              ("d", SQLType.DATE)])
+    db.insert("flags", [(1, True, "2024-02-29"), (2, False, "2024-03-01")])
+    conn = connect(*server.address)
+    try:
+        result = conn.execute("select id, ok, d from flags where id = ?",
+                              params=(1,), timeout=60)
+        assert [t.value for t in result.column_types] == [
+            "int64", "bool", "date"]
+        (decoded,) = result.decoded_rows()
+        assert decoded[1] is True
+        assert decoded[2].isoformat() == "2024-02-29"
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# handshake / framing edge cases
+# ---------------------------------------------------------------------- #
+def test_auth_rejection_and_acceptance():
+    db = build_db(rows=10)
+    server = db.serve(auth_token="sesame")
+    try:
+        with pytest.raises(AuthenticationError):
+            connect(*server.address, auth_token="wrong")
+        with pytest.raises(AuthenticationError):
+            connect(*server.address)  # empty token is wrong too
+        assert db.metrics.get("server.auth_failures").value == 2
+
+        conn = connect(*server.address, auth_token="sesame")
+        try:
+            assert conn.execute("select count(*) as n from t",
+                                timeout=60).rows == [(10,)]
+        finally:
+            conn.close()
+    finally:
+        db.close()
+
+
+def test_first_frame_must_be_hello(served_db):
+    _, server = served_db
+    sock = socket.create_connection(server.address, timeout=10)
+    sock.settimeout(10)
+    try:
+        sock.sendall(encode_frame(protocol.Prepare(request_id=1, sql="x")))
+        frame = _read_raw_frame(sock)
+        assert isinstance(frame, protocol.Error)
+        assert frame.code == "PROTOCOL"
+        assert frame.request_id == protocol.CONNECTION_REQUEST_ID
+        # The server closes the connection after the handshake failure.
+        assert sock.recv(1) == b""
+    finally:
+        sock.close()
+
+
+def test_unsupported_protocol_version_is_rejected(served_db):
+    _, server = served_db
+    sock = socket.create_connection(server.address, timeout=10)
+    sock.settimeout(10)
+    try:
+        sock.sendall(encode_frame(protocol.Hello(protocol_version=99)))
+        frame = _read_raw_frame(sock)
+        assert isinstance(frame, protocol.Error)
+        assert frame.code == "PROTOCOL"
+        assert "version" in frame.message
+    finally:
+        sock.close()
+
+
+def test_malformed_frame_closes_connection(served_db):
+    db, server = served_db
+    sock = _raw_handshake(server)
+    try:
+        # A PREPARE whose payload is garbage: undecodable -> connection-
+        # level PROTOCOL error, then close.
+        sock.sendall(FRAME_HEADER.pack(3, protocol.PREPARE) + b"\xff\xff\xff")
+        frame = _read_raw_frame(sock)
+        assert isinstance(frame, protocol.Error)
+        assert frame.code == "PROTOCOL"
+        assert sock.recv(1) == b""
+        assert db.metrics.get("server.protocol_errors").value >= 1
+    finally:
+        sock.close()
+
+
+def test_oversized_frame_is_rejected_without_buffering(served_db):
+    _, server = served_db
+    sock = _raw_handshake(server)
+    try:
+        # Announce a payload over the limit; send nothing more.  The server
+        # must reject from the header alone.
+        sock.sendall(FRAME_HEADER.pack(MAX_FRAME_BYTES + 1, protocol.EXECUTE))
+        frame = _read_raw_frame(sock)
+        assert isinstance(frame, protocol.Error)
+        assert frame.code == "PROTOCOL"
+        assert "exceeds" in frame.message
+        assert sock.recv(1) == b""
+    finally:
+        sock.close()
+
+
+def test_empty_execute_and_unknown_statement_are_request_errors(served_db):
+    _, server = served_db
+    conn = connect(*server.address)
+    try:
+        pending = conn.execute_async("")  # neither SQL nor statement id
+        with pytest.raises(ProtocolError, match="neither SQL nor"):
+            pending.result(timeout=60)
+
+        fake = conn._next_request()
+        conn._send(protocol.Execute(request_id=fake.request_id,
+                                    statement_id=12345))
+        frame = fake.frames.get(timeout=30)
+        conn._forget(fake)
+        assert isinstance(frame, protocol.Error)
+        assert frame.code == "PROTOCOL"
+        assert "unknown statement id" in frame.message
+
+        # The connection survives request-level errors.
+        assert conn.execute("select count(*) as n from t",
+                            timeout=60).rows == [(400,)]
+    finally:
+        conn.close()
+
+
+def test_sql_errors_travel_as_typed_error_frames(served_db):
+    _, server = served_db
+    conn = connect(*server.address)
+    try:
+        from repro.errors import ServerError
+        with pytest.raises(ServerError) as excinfo:
+            conn.execute("select nope from missing_table", timeout=60)
+        assert excinfo.value.code in ("SQL", "EXECUTION")
+        # And the connection keeps working afterwards.
+        assert conn.execute("select count(*) as n from t",
+                            timeout=60).rows == [(400,)]
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# backpressure / cancel / disconnect under a blocked pool
+# ---------------------------------------------------------------------- #
+def test_busy_surfaces_as_protocol_error_not_hang(blocked_db):
+    db, server, blocker = blocked_db
+    conn = connect(*server.address)
+    try:
+        first = conn.execute_async("select sum(a) as s from t")
+        # The pending queue (size 1) is now full; the next EXECUTE must be
+        # rejected with BUSY immediately, not queue or hang.
+        with pytest.raises(ServerBusyError) as excinfo:
+            conn.execute("select sum(a) as s from t", timeout=30)
+        assert excinfo.value.code == "BUSY"
+        assert excinfo.value.retry_after_ms >= 0
+        assert db.metrics.get("server.busy_rejections").value == 1
+
+        blocker.release.set()
+        expected = db.execute("select sum(a) as s from t").rows
+        assert first.result(timeout=60).rows == expected
+    finally:
+        conn.close()
+
+
+def test_cancel_pending_query_and_cancel_racing_completion(blocked_db):
+    db, server, blocker = blocked_db
+    conn = connect(*server.address)
+    try:
+        pending = conn.execute_async("select sum(a) as s from t")
+        _wait_until(lambda: db.scheduler.pending_count == 1)
+        assert pending.cancel() is True
+        with pytest.raises(QueryCancelledError):
+            pending.result(timeout=30)
+        assert db.scheduler.stats.cancelled == 1
+
+        # Cancel racing completion: by the time the CANCEL frame arrives
+        # the query has finished -- cancel reports False and the full
+        # result still arrives.
+        blocker.release.set()
+        done = conn.execute_async("select count(*) as n from t")
+        result = done.result(timeout=60)
+        assert result.rows == [(50,)]
+        late = conn._cancel(done.request_id, timeout=30)
+        assert late is False
+    finally:
+        conn.close()
+
+
+def test_client_disconnect_mid_request_releases_admission_slot(blocked_db):
+    db, server, blocker = blocked_db
+    sock = _raw_handshake(server)
+    sock.sendall(encode_frame(protocol.Execute(
+        request_id=1, sql="select sum(a) as s from t")))
+    _wait_until(lambda: db.scheduler.pending_count == 1)
+    # Abrupt disconnect: no GOODBYE, just a dead socket.  The server must
+    # cancel the pending ticket, freeing its admission-queue slot.
+    sock.close()
+    _wait_until(lambda: db.scheduler.stats.cancelled == 1,
+                message="disconnect did not cancel the in-flight ticket")
+    _wait_until(lambda: db.scheduler.pending_count == 0)
+    _wait_until(lambda: server.active_connections == 0)
+
+    # The freed slot admits new work from a fresh connection.
+    blocker.release.set()
+    conn = connect(*server.address)
+    try:
+        assert conn.execute("select count(*) as n from t",
+                            timeout=60).rows == [(50,)]
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# plan-cache sharing across sessions
+# ---------------------------------------------------------------------- #
+def test_concurrent_sessions_share_one_prepared_shape(served_db):
+    db, server = served_db
+    sql = "select s, count(*) as n from t where a < :x group by s order by s"
+    hits_before = db.plan_cache.stats.hits
+    entries_before = len(db.plan_cache)
+
+    connections = [connect(*server.address, session_name=f"share-{i}")
+                   for i in range(3)]
+    try:
+        statements = [conn.prepare(sql) for conn in connections]
+        # One PREPARE built the entry; the other two hit the shared cache.
+        assert len(db.plan_cache) == entries_before + 1
+        assert db.plan_cache.stats.hits >= hits_before + 2
+        expected = db.execute(sql, params={"x": 123}).rows
+        for stmt in statements:
+            assert stmt.execute(params={"x": 123},
+                                timeout=60).rows == expected
+    finally:
+        for conn in connections:
+            conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# lifecycle: Database.close with in-flight queries, idempotence, metrics
+# ---------------------------------------------------------------------- #
+def test_database_close_is_safe_with_queries_in_flight():
+    db = build_db(rows=50, workers=1, max_concurrent=1, max_pending=4)
+    blocker = _Blocker(1)
+    db.worker_pool.attach(blocker)
+    assert blocker.started.acquire(timeout=5)
+    tickets = [db.submit("select sum(a) as s from t") for _ in range(3)]
+
+    closer_done = threading.Event()
+
+    def closer() -> None:
+        # Deadline-bounded close: pending tickets are cancelled, the
+        # blocked pool is abandoned at the deadline instead of hanging.
+        db.close(timeout=1.0)
+        closer_done.set()
+
+    thread = threading.Thread(target=closer)
+    thread.start()
+    assert closer_done.wait(timeout=15), "close() hung on in-flight queries"
+    thread.join(5)
+
+    for ticket in tickets:
+        assert ticket.done()
+        with pytest.raises(QueryCancelledError):
+            ticket.result(timeout=5)
+
+    # Double close is a no-op, and the serving entry points now refuse.
+    db.close()
+    db.close(timeout=0.1)
+    from repro.errors import SchedulerError
+    with pytest.raises(SchedulerError):
+        db.submit("select 1 as x")
+    with pytest.raises(SchedulerError):
+        db.serve()
+
+    blocker.release.set()
+
+
+def test_server_close_is_idempotent_and_unregisters():
+    db = build_db(rows=10)
+    server = db.serve()
+    assert server in db._servers
+    server.close()
+    server.close()
+    assert server not in db._servers
+    # A new server can be started afterwards; db.close() then closes it.
+    second = db.serve()
+    db.close()
+    assert second.closed
+    db.close()  # still a no-op
+
+
+def test_server_and_scheduler_metrics_reach_prometheus(served_db):
+    db, server = served_db
+    conn = connect(*server.address)
+    try:
+        conn.prepare("select count(*) as n from t")
+        conn.execute("select count(*) as n from t", timeout=60)
+    finally:
+        conn.close()
+    _wait_until(lambda: server.active_connections == 0)
+
+    text = db.metrics.to_prometheus()
+    for needle in (
+            "repro_server_connections_total 1",
+            "repro_server_active_connections 0",
+            "repro_server_in_flight_requests 0",
+            "repro_server_requests_total_hello 1",
+            "repro_server_requests_total_prepare 1",
+            "repro_server_requests_total_execute 1",
+            "repro_server_request_seconds_count 1",
+            "repro_scheduler_completed 1",
+    ):
+        assert needle in text, f"missing {needle!r} in prometheus output"
+    flat = db.metrics.flat_snapshot()
+    assert flat["server.bytes_sent"] > 0
+    assert flat["server.bytes_received"] > 0

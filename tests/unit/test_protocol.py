@@ -1,0 +1,198 @@
+"""Unit tests of the wire-protocol frame codec (no sockets involved).
+
+Every message type must survive an encode/decode round trip bit-exactly,
+and the decoder must reject every malformation class with a
+:class:`~repro.errors.ProtocolError` rather than crashing or silently
+accepting: truncated payloads, trailing bytes, unknown frame types and
+value tags, oversized frames, and invalid embedded data (bad UTF-8, bad
+dates).
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server import protocol
+from repro.server.protocol import (FRAME_HEADER, FRAME_HEADER_BYTES,
+                                   MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                   PayloadReader, PayloadWriter,
+                                   decode_header, decode_payload,
+                                   decode_result_rows, encode_frame)
+
+
+def roundtrip(message):
+    """Encode one message to a frame and decode it back."""
+    frame = encode_frame(message)
+    length, frame_type = decode_header(frame[:FRAME_HEADER_BYTES])
+    payload = frame[FRAME_HEADER_BYTES:]
+    assert length == len(payload)
+    assert frame_type == message.frame_type
+    return decode_payload(frame_type, payload)
+
+
+# ---------------------------------------------------------------------- #
+# round trips
+# ---------------------------------------------------------------------- #
+ALL_MESSAGES = [
+    protocol.Hello(token="secret", session_name="alice",
+                   protocol_version=PROTOCOL_VERSION),
+    protocol.Hello(),  # all defaults / empty strings
+    protocol.Welcome(session_name="alice", server_version="1.5.0"),
+    protocol.Prepare(request_id=7, sql="select * from t where a = ?"),
+    protocol.Prepared(request_id=7, statement_id=3,
+                      parameters=[("", "int64"), ("name", "string")],
+                      column_names=["a", "b"],
+                      column_types=["int64", "float64"]),
+    protocol.Execute(request_id=9, statement_id=3,
+                     params=[1, 2.5, "x", True,
+                             datetime.date(2024, 2, 29)],
+                     options={"mode": "adaptive", "threads": 2},
+                     batch_rows=128),
+    protocol.Execute(request_id=10, sql="select 1 as one",
+                     params={"a": 4, "label": "hi"}),
+    protocol.Execute(request_id=11, sql="select 1 as one"),  # params=None
+    protocol.RowHeader(request_id=9, column_names=["a", "d"],
+                       column_types=["int64", "date"]),
+    protocol.RowBatch(request_id=9,
+                      rows=[(1, 2.0, "three", False), (-(2 ** 62), 0.0,
+                                                       "", True)]),
+    protocol.RowBatch(request_id=9, rows=[]),
+    protocol.Done(request_id=9, row_count=1234, mode="adaptive",
+                  cached=True, total_seconds=0.25, queue_seconds=0.001),
+    protocol.Error(request_id=9, code="BUSY", message="queue full",
+                   retry_after_ms=120),
+    protocol.Cancel(request_id=12, target_request_id=9),
+    protocol.CancelResult(request_id=12, cancelled=True),
+    protocol.CloseStatement(request_id=13, statement_id=3),
+    protocol.Ok(request_id=13),
+    protocol.Goodbye(),
+]
+
+
+@pytest.mark.parametrize("message", ALL_MESSAGES,
+                         ids=lambda m: type(m).__name__)
+def test_roundtrip_preserves_every_field(message):
+    assert roundtrip(message) == message
+
+
+def test_positional_params_roundtrip_as_list():
+    # The codec normalises any positional sequence to a list.
+    decoded = roundtrip(protocol.Execute(request_id=1, sql="s",
+                                         params=(1, 2)))
+    assert decoded.params == [1, 2]
+
+
+def test_numpy_like_int_scalars_travel_as_int():
+    np = pytest.importorskip("numpy")
+    decoded = roundtrip(protocol.RowBatch(
+        request_id=1, rows=[(np.int64(41), np.int32(-3))]))
+    assert decoded.rows == [(41, -3)]
+    assert all(type(v) is int for v in decoded.rows[0])
+
+
+def test_unrepresentable_value_is_rejected_at_encode_time():
+    with pytest.raises(ProtocolError, match="not.*representable"):
+        encode_frame(protocol.RowBatch(request_id=1, rows=[(object(),)]))
+
+
+def test_decode_result_rows_applies_column_types():
+    rows = [(738947, 1, 42)]
+    decoded = decode_result_rows(rows, ["date", "bool", "int64"])
+    (date_value, bool_value, int_value), = decoded
+    assert isinstance(date_value, datetime.date)
+    assert bool_value is True
+    assert int_value == 42
+
+
+# ---------------------------------------------------------------------- #
+# malformed input
+# ---------------------------------------------------------------------- #
+def test_short_header_is_rejected():
+    with pytest.raises(ProtocolError, match="short frame header"):
+        decode_header(b"\x00\x00")
+
+
+def test_oversized_declared_length_is_rejected_before_payload():
+    header = FRAME_HEADER.pack(MAX_FRAME_BYTES + 1, protocol.HELLO)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decode_header(header)
+
+
+def test_oversized_outgoing_frame_is_rejected():
+    huge = protocol.RowBatch(request_id=1,
+                             rows=[("x" * (MAX_FRAME_BYTES + 16),)])
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame(huge)
+
+
+def test_unknown_frame_type_is_rejected():
+    with pytest.raises(ProtocolError, match="unknown frame type"):
+        decode_payload(0x7F, b"")
+
+
+def test_truncated_payload_is_rejected():
+    frame = encode_frame(protocol.Prepare(request_id=1, sql="select 1"))
+    payload = frame[FRAME_HEADER_BYTES:]
+    for cut in (0, 4, len(payload) - 1):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_payload(protocol.PREPARE, payload[:cut])
+
+
+def test_trailing_bytes_are_rejected():
+    frame = encode_frame(protocol.Ok(request_id=1))
+    payload = frame[FRAME_HEADER_BYTES:]
+    with pytest.raises(ProtocolError, match="trailing byte"):
+        decode_payload(protocol.OK, payload + b"\x00")
+
+
+def test_unknown_value_tag_is_rejected():
+    writer = PayloadWriter()
+    writer.u64(1)       # request_id
+    writer.u32(1)       # one row
+    writer.u32(1)       # one value
+    writer.u8(99)       # bogus tag
+    with pytest.raises(ProtocolError, match="unknown value tag"):
+        decode_payload(protocol.ROW_BATCH, writer.getvalue())
+
+
+def test_unknown_params_kind_is_rejected():
+    writer = PayloadWriter()
+    writer.u64(1)       # request_id
+    writer.u64(0)       # statement_id
+    writer.string("s")  # sql
+    writer.u8(7)        # bogus params kind
+    with pytest.raises(ProtocolError, match="unknown params kind"):
+        decode_payload(protocol.EXECUTE, writer.getvalue())
+
+
+def test_invalid_utf8_in_string_is_rejected():
+    writer = PayloadWriter()
+    writer.u64(1)
+    raw = struct.pack("!I", 2) + b"\xff\xfe"  # length-prefixed bad UTF-8
+    payload = writer.getvalue() + raw
+    with pytest.raises(ProtocolError, match="invalid UTF-8"):
+        decode_payload(protocol.PREPARE, payload)
+
+
+def test_invalid_date_value_is_rejected():
+    writer = PayloadWriter()
+    writer.u64(1)       # request_id
+    writer.u32(1)       # one row
+    writer.u32(1)       # one value
+    writer.u8(4)        # _VAL_DATE
+    writer.string("not-a-date")
+    with pytest.raises(ProtocolError, match="invalid DATE"):
+        decode_payload(protocol.ROW_BATCH, writer.getvalue())
+
+
+def test_reader_expect_end_and_bounds():
+    reader = PayloadReader(b"\x01\x02")
+    assert reader.u8() == 1
+    with pytest.raises(ProtocolError, match="truncated"):
+        reader.u32()
+    assert reader.u8() == 2
+    reader.expect_end()
