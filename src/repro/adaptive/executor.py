@@ -100,11 +100,13 @@ class AdaptiveExecutor:
                  cost_model: Optional[CostModel] = None,
                  policy: Optional[AdaptivePolicy] = None,
                  handles: Optional[dict[int, FunctionHandle]] = None,
-                 use_pruning: bool = True):
+                 use_pruning: bool = True,
+                 verify_ir: Optional[bool] = None):
         self.database = database
         self.num_threads = max(num_threads, 1)
         self.collect_trace = collect_trace
         self.use_pruning = use_pruning
+        self.verify_ir = verify_ir
         self.cost_model = cost_model or default_cost_model()
         self.policy = policy or AdaptivePolicy(self.cost_model)
         #: Optional shared ``pipeline index -> FunctionHandle`` map.  A
@@ -146,7 +148,8 @@ class AdaptiveExecutor:
         rows = scan.rows_to_scan
         handle = self.handles.get(index) if self.handles is not None else None
         if handle is None:
-            handle = FunctionHandle(pipeline.function, vm=self.database._vm)
+            handle = FunctionHandle(pipeline.function, vm=self.database._vm,
+                                    verify_ir=self.verify_ir)
             timings.compile += handle.bytecode_seconds
             if self.handles is not None:
                 self.handles[index] = handle
@@ -323,7 +326,8 @@ class StaticParallelExecutor:
     def __init__(self, database, mode: str, num_threads: int = 1,
                  collect_trace: bool = False,
                  tiers: Optional[dict] = None,
-                 use_pruning: bool = True):
+                 use_pruning: bool = True,
+                 verify_ir: Optional[bool] = None):
         if mode not in ("bytecode", "unoptimized", "optimized", "ir-interp"):
             raise AdaptiveError(f"unsupported static tier {mode!r}")
         self.database = database
@@ -331,6 +335,7 @@ class StaticParallelExecutor:
         self.num_threads = max(num_threads, 1)
         self.collect_trace = collect_trace
         self.use_pruning = use_pruning
+        self.verify_ir = verify_ir
         #: Optional shared ``(pipeline index, mode) -> executable`` tier
         #: cache, provided by a prepared query (see engine._tier_for).
         self.tiers = tiers
@@ -346,7 +351,8 @@ class StaticParallelExecutor:
         executables = []
         for index, pipeline in enumerate(generated.pipelines):
             executable, compile_seconds = self.database._tier_for(
-                pipeline.function, index, self.mode, self.tiers)
+                pipeline.function, index, self.mode, self.tiers,
+                verify_ir=self.verify_ir)
             timings.compile += compile_seconds
             executables.append(executable)
 

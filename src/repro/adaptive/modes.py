@@ -42,9 +42,12 @@ class FunctionHandle:
     """Holds every available variant of one pipeline worker function."""
 
     def __init__(self, function: Function,
-                 vm: Optional[VirtualMachine] = None):
+                 vm: Optional[VirtualMachine] = None,
+                 verify_ir: Optional[bool] = None):
         self.function = function
         self.vm = vm or VirtualMachine()
+        from ..analysis import verify_ir_enabled
+        self.verify = verify_ir_enabled(verify_ir)
         self._lock = threading.Lock()
         #: Serializes compilations of this handle so that two concurrent
         #: ``compile`` calls can never translate the same tier twice.
@@ -52,6 +55,9 @@ class FunctionHandle:
 
         start = time.perf_counter()
         self._bytecode, self._translation_stats = translate_function(function)
+        if self.verify:
+            from ..analysis import verify_bytecode
+            verify_bytecode(self._bytecode)
         self.bytecode_seconds = time.perf_counter() - start
 
         self._compiled: dict[ExecutionMode, Callable] = {}
@@ -112,7 +118,8 @@ class FunctionHandle:
                     return self._compile_seconds[mode]
                 self.compiling = mode
             try:
-                compiled = compile_function(self.function, mode.tier_name)
+                compiled = compile_function(self.function, mode.tier_name,
+                                            verify=self.verify)
                 with self._lock:
                     self._compiled[mode] = compiled
                     self._compile_seconds[mode] = compiled.compile_seconds

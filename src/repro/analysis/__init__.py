@@ -1,0 +1,60 @@
+"""Static verification and lint layer.
+
+Three verifiers and one linter guard the engine's correctness invariants:
+
+* :mod:`repro.ir.verifier` (re-exported here for one-stop imports) — the
+  LLVM-style structural verifier for generated IR,
+* :mod:`repro.analysis.bytecode_verifier` — abstract interpretation over
+  translated VM bytecode plus a register-allocation/liveness cross-check,
+* :mod:`repro.analysis.extern_contracts` — the declared runtime extern
+  contracts (arity, purity, sink state-threading, lock discipline) checked
+  against generated call sites and the bound Python implementations,
+* :mod:`repro.analysis.lint` — an AST-based concurrency/invariant linter
+  over the engine's own source (``python -m repro.analysis.lint src/repro``).
+
+Pass-pipeline validation (re-verifying IR after each optimization pass) is
+switched by ``ExecOptions.verify_ir``; when that option is unset the
+``REPRO_VERIFY_IR`` environment variable decides (see
+:func:`verify_ir_enabled`), which is how CI keeps verification on for the
+whole test suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..ir.verifier import verify_function, verify_module
+from .bytecode_verifier import verify_allocation, verify_bytecode
+from .extern_contracts import (
+    ContractFinding,
+    check_extern_contracts,
+    find_contract,
+    verify_extern_contracts,
+)
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def verify_ir_enabled(option=None) -> bool:
+    """Resolve the effective verify-ir switch.
+
+    An explicit ``ExecOptions.verify_ir`` value wins; otherwise the
+    ``REPRO_VERIFY_IR`` environment variable decides (unset or a falsy
+    string means off).
+    """
+    if option is not None:
+        return bool(option)
+    return os.environ.get("REPRO_VERIFY_IR", "").strip().lower() in _TRUTHY
+
+
+__all__ = [
+    "ContractFinding",
+    "check_extern_contracts",
+    "find_contract",
+    "verify_allocation",
+    "verify_bytecode",
+    "verify_extern_contracts",
+    "verify_function",
+    "verify_ir_enabled",
+    "verify_module",
+]

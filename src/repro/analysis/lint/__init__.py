@@ -1,0 +1,100 @@
+"""AST-based concurrency/invariant linter for the engine's own source.
+
+The engine's past bug classes (publish-order races on chunk sealing, ragged
+numpy snapshots, unguarded writes to lock-protected attributes, locks inside
+codegen'd hot paths) are all *patterns in the Python source*, not properties
+of any single run — so they are enforced here, statically, over
+``src/repro/**`` in CI:
+
+    python -m repro.analysis.lint src/repro
+
+Rules are plugins: subclass :class:`Rule`, implement ``check(tree, source)``
+yielding :class:`Finding` objects, and add the class to
+:data:`repro.analysis.lint.rules.ALL_RULES`.  A finding can be suppressed
+for one line with a trailing ``# lint: ignore[rule-id]`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+_SUPPRESS = re.compile(r"#\s*lint:\s*ignore\[([a-z0-9-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class of all lint rules.
+
+    ``rule_id`` is the stable kebab-case identifier used in output and in
+    ``# lint: ignore[...]`` suppressions; ``description`` is one line for
+    ``--list``.  ``check`` receives the parsed module and the source text
+    and yields findings (``path`` may be left empty — the driver fills it
+    in).
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, tree: ast.Module, source: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule runs over ``path`` (default: every file)."""
+        return True
+
+    def finding(self, node: ast.AST, message: str) -> Finding:
+        return Finding(self.rule_id, "", getattr(node, "lineno", 0), message)
+
+
+def _suppressed_lines(source: str) -> dict[int, set]:
+    suppressed: dict[int, set] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        for match in _SUPPRESS.finditer(text):
+            suppressed.setdefault(number, set()).add(match.group(1))
+    return suppressed
+
+
+def lint_file(path: Path, rules: Iterable[Rule]) -> list:
+    """Run ``rules`` over one file and return its findings."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    suppressed = _suppressed_lines(source)
+    findings = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for found in rule.check(tree, source):
+            if rule.rule_id in suppressed.get(found.line, ()):
+                continue
+            findings.append(Finding(found.rule, str(path), found.line,
+                                    found.message))
+    return findings
+
+
+def lint_paths(paths: Iterable[Path], rules: Iterable[Rule]) -> list:
+    """Run ``rules`` over files/trees and return all findings, sorted."""
+    rules = list(rules)
+    findings = []
+    for root in paths:
+        root = Path(root)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(lint_file(file, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

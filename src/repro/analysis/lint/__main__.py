@@ -1,0 +1,60 @@
+"""Command-line driver: ``python -m repro.analysis.lint <paths...>``.
+
+Exits 0 when no rule fires, 1 when there are findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import lint_paths
+from .rules import ALL_RULES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST-based concurrency/invariant lint for engine code.")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: the "
+                             "repro package itself)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the active rules and exit")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="RULE_ID",
+                        help="run only the given rule (repeatable)")
+    arguments = parser.parse_args(argv)
+
+    rules = [cls() for cls in ALL_RULES]
+    if arguments.list:
+        for rule in rules:
+            print(f"{rule.rule_id:18} {rule.description}")
+        return 0
+    if arguments.rule:
+        unknown = set(arguments.rule) - {r.rule_id for r in rules}
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.rule_id in arguments.rule]
+
+    paths = arguments.paths or [Path(__file__).resolve().parents[2]]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, rules)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,13 +89,18 @@ class CompiledFunction:
 # --------------------------------------------------------------------------- #
 # public API
 # --------------------------------------------------------------------------- #
-def compile_function(function: Function, tier: str,
-                     clone: bool = True) -> CompiledFunction:
-    """Compile ``function`` with the given tier (``"unoptimized"``/``"optimized"``)."""
+def compile_function(function: Function, tier: str, clone: bool = True,
+                     verify: bool = None) -> CompiledFunction:
+    """Compile ``function`` with the given tier (``"unoptimized"``/``"optimized"``).
+
+    ``verify`` controls pass-pipeline validation on the optimized tier
+    (re-verifying the IR after each pass that changed it); ``None`` defers
+    to the ``REPRO_VERIFY_IR`` environment flag.
+    """
     if tier == "unoptimized":
         return compile_unoptimized(function)
     if tier == "optimized":
-        return compile_optimized(function, clone=clone)
+        return compile_optimized(function, clone=clone, verify=verify)
     raise BackendError(f"unknown compilation tier {tier!r}")
 
 
@@ -114,12 +119,13 @@ def compile_unoptimized(function: Function) -> CompiledFunction:
         instructions_before=count, instructions_after=count)
 
 
-def compile_optimized(function: Function, clone: bool = True) -> CompiledFunction:
+def compile_optimized(function: Function, clone: bool = True,
+                      verify: bool = None) -> CompiledFunction:
     """Full lowering: pass pipeline, then a single specialised function."""
     start = time.perf_counter()
     target = _clone_function(function) if clone else function
     before = target.instruction_count()
-    pass_stats = default_pipeline().run_function(target)
+    pass_stats = default_pipeline(verify=verify).run_function(target)
     source, namespace = _lower_whole_function(target)
     code = compile(source, f"<optimized:{function.name}>", "exec")
     exec(code, namespace)

@@ -888,3 +888,67 @@ def strip_sort_keys(rows: list[tuple], sink: OutputSink) -> list[tuple]:
         return rows
     width = len(sink.output)
     return [row[:width] for row in rows]
+
+
+# --------------------------------------------------------------------------- #
+# extern contracts
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExternContract:
+    """Declared contract of one family of runtime externs.
+
+    The code generator declares externs with generated names
+    (``rt_build_insert_3``, ``rt_match_get_2_0``, ...), so contracts are
+    keyed by a regular expression that must fully match the extern name.
+    ``min_args``/``max_args`` bound the *declared* IR arity (``max_args``
+    of ``None`` means unbounded).  ``is_sink`` marks externs that mutate
+    per-worker breaker state and therefore must receive the worker
+    function's threaded ``state`` argument first (the PR 5 invariant);
+    ``may_lock`` whitelists the two fallback-path externs that are allowed
+    to take the counted fallback lock; ``pure`` means the extern must be
+    declared side-effect free (and vice versa).
+    """
+
+    pattern: str
+    description: str
+    is_sink: bool = False
+    may_lock: bool = False
+    pure: bool = False
+    min_args: int = 0
+    max_args: Optional[int] = None
+
+
+#: The full catalogue of runtime externs the code generator may declare.
+#: ``repro.analysis.extern_contracts`` verifies every generated ``CallInst``
+#: and the bound Python implementations against this table; an extern whose
+#: name matches no entry is itself a finding.
+EXTERN_CONTRACTS: tuple = (
+    ExternContract(r"rt_build_insert_\d+", "hash-join build insert",
+                   is_sink=True, min_args=2),
+    ExternContract(r"rt_agg_update_\d+", "aggregate update",
+                   is_sink=True, may_lock=True, min_args=1),
+    ExternContract(r"rt_emit_row", "result row emission",
+                   is_sink=True, may_lock=True, min_args=1),
+    ExternContract(r"rt_probe_\d+", "hash-join probe",
+                   pure=True, min_args=1),
+    ExternContract(r"rt_match_count", "probe match count",
+                   pure=True, min_args=1, max_args=1),
+    ExternContract(r"rt_match_get_\d+_\d+", "probe match payload access",
+                   pure=True, min_args=2, max_args=2),
+    ExternContract(r"rt_flag_new", "outer-join match flag allocation",
+                   min_args=0, max_args=0),
+    ExternContract(r"rt_flag_set", "outer-join match flag set",
+                   min_args=1, max_args=1),
+    ExternContract(r"rt_flag_get", "outer-join match flag read",
+                   min_args=1, max_args=1),
+    ExternContract(r"rt_null_\w+", "typed NULL padding value",
+                   pure=True, min_args=0, max_args=0),
+    ExternContract(r"rt_param_\d+", "bind-parameter load",
+                   pure=True, min_args=0, max_args=0),
+    ExternContract(r"rt_like_\d+", "LIKE predicate evaluation",
+                   pure=True, min_args=1, max_args=1),
+    ExternContract(r"rt_extract_(year|month|day)", "date field extraction",
+                   pure=True, min_args=1, max_args=1),
+    ExternContract(r"rt_raise_overflow", "checked-arithmetic overflow trap",
+                   min_args=0, max_args=0),
+)

@@ -746,14 +746,16 @@ class Database:
     def _execute_static(self, generated: GeneratedQuery,
                         planning: PlanningResult, timings: PhaseTimings,
                         mode: str, tiers: Optional[dict] = None,
-                        use_pruning: bool = True) -> QueryResult:
+                        use_pruning: bool = True,
+                        verify_ir: Optional[bool] = None) -> QueryResult:
         """Single-threaded execution with one statically chosen tier."""
         pipeline_stats: list[PipelineExecution] = []
         state = generated.state
 
         for index, pipeline in enumerate(generated.pipelines):
             executable, compile_seconds = self._tier_for(pipeline.function,
-                                                         index, mode, tiers)
+                                                         index, mode, tiers,
+                                                         verify_ir=verify_ir)
             timings.compile += compile_seconds
 
             total_rows = state.source_row_count(pipeline.pipeline)
@@ -801,7 +803,8 @@ class Database:
                                      pipeline_stats)
 
     def _tier_for(self, function, index: int, mode: str,
-                  tiers: Optional[dict]):
+                  tiers: Optional[dict],
+                  verify_ir: Optional[bool] = None):
         """Resolve one pipeline's executable, through the tier cache if given.
 
         On a cache hit the compile cost was already paid by an earlier
@@ -812,13 +815,17 @@ class Database:
             cached = tiers.get((index, mode))
             if cached is not None:
                 return cached, 0.0
-        executable, compile_seconds = self._prepare_tier(function, mode)
+        executable, compile_seconds = self._prepare_tier(
+            function, mode, verify_ir=verify_ir)
         if tiers is not None:
             tiers[(index, mode)] = executable
         return executable, compile_seconds
 
-    def _prepare_tier(self, function, mode: str):
+    def _prepare_tier(self, function, mode: str,
+                      verify_ir: Optional[bool] = None):
         """Return ``(callable(state, begin, end), compile_seconds)`` for a tier."""
+        from .analysis import verify_bytecode, verify_ir_enabled
+        verify = verify_ir_enabled(verify_ir)
         if mode == "ir-interp":
             interpreter = IRInterpreter()
 
@@ -828,6 +835,8 @@ class Database:
         if mode == "bytecode":
             start = time.perf_counter()
             bytecode, _ = translate_function(function)
+            if verify:
+                verify_bytecode(bytecode)
             elapsed = time.perf_counter() - start
             vm = self._vm
 
@@ -835,7 +844,7 @@ class Database:
                 vm.execute(bytecode, [state, begin, end])
             return run_bytecode, elapsed
         if mode in ("unoptimized", "optimized"):
-            compiled = compile_function(function, mode)
+            compiled = compile_function(function, mode, verify=verify)
             return compiled, compiled.compile_seconds
         raise ExecutionError(f"unknown tier {mode!r}")
 

@@ -62,11 +62,61 @@ class IRError(ReproError):
 
 
 class IRVerificationError(IRError):
-    """The IR verifier rejected a module or function."""
+    """The IR verifier rejected a module or function.
+
+    Carries the full failure location so a CI log line is actionable on its
+    own: ``function_name`` / ``block_name`` locate the defect,
+    ``instruction`` holds the offending instruction rendered by
+    :mod:`repro.ir.printer` (when one instruction is to blame), and
+    ``pass_name`` names the optimization pass whose rewrite broke the
+    invariant (when the failure was detected by pass-pipeline validation).
+    """
+
+    def __init__(self, message: str, function_name: str = None,
+                 block_name: str = None, instruction: str = None,
+                 pass_name: str = None):
+        location = ""
+        if function_name:
+            location = function_name
+            if block_name:
+                location += f"/{block_name}"
+        if pass_name:
+            message = f"[after pass {pass_name}] {message}"
+        if location and not message.startswith(location):
+            message = f"{location}: {message}"
+        if instruction:
+            message += f"\n  in: {instruction}"
+        super().__init__(message)
+        self.function_name = function_name
+        self.block_name = block_name
+        self.instruction = instruction
+        self.pass_name = pass_name
 
 
 class VMError(ReproError):
     """Bytecode translation or interpretation failed."""
+
+
+class BytecodeVerificationError(VMError):
+    """The bytecode verifier rejected a translated function.
+
+    ``function_name`` and ``offset`` locate the offending instruction in
+    the flat code list; ``instruction`` is its disassembled rendering.
+    """
+
+    def __init__(self, message: str, function_name: str = None,
+                 offset: int = None, instruction: str = None):
+        location = function_name or ""
+        if offset is not None:
+            location += f"+{offset}"
+        if location and not message.startswith(location):
+            message = f"{location}: {message}"
+        if instruction:
+            message += f"\n  in: {instruction}"
+        super().__init__(message)
+        self.function_name = function_name
+        self.offset = offset
+        self.instruction = instruction
 
 
 class BackendError(ReproError):

@@ -101,8 +101,8 @@ class DominatorTree:
 
 
 def compute_dominator_tree(function: Function,
-                           order: Optional[list[BasicBlock]] = None
-                           ) -> DominatorTree:
+                           order: Optional[list[BasicBlock]] = None,
+                           preds: Optional[dict] = None) -> DominatorTree:
     """Compute the dominator tree of ``function``.
 
     Uses the Cooper-Harvey-Kennedy "engineered" iterative algorithm driven by
@@ -114,7 +114,8 @@ def compute_dominator_tree(function: Function,
     if not order:
         raise IRError(f"function {function.name} has no reachable blocks")
     rpo_index = {id(block): idx for idx, block in enumerate(order)}
-    preds = function.predecessors()
+    if preds is None:
+        preds = function.predecessors()
 
     entry = order[0]
     idom: dict[int, Optional[BasicBlock]] = {id(entry): entry}

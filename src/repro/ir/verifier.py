@@ -11,9 +11,15 @@ LLVM's verifier would for our instruction subset:
   its definition dominates the use,
 * instruction result types are consistent with their operands,
 * call argument counts/types match the callee's declaration.
+
+Failures raise :class:`repro.errors.IRVerificationError` carrying the
+function, block and offending instruction (rendered via
+:mod:`repro.ir.printer`), so a CI failure names the exact defect site.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from ..errors import IRVerificationError
 from .analysis import compute_dominator_tree, reverse_postorder
@@ -29,14 +35,43 @@ def verify_module(module: Module) -> None:
 
 
 def verify_function(function: Function) -> None:
-    """Verify a single function.  Raises :class:`IRVerificationError`."""
-    if not function.blocks:
-        raise IRVerificationError(f"function {function.name} has no blocks")
+    """Verify a single function.  Raises :class:`IRVerificationError`.
 
+    The pass pipeline re-runs this after every pass that changed a function
+    (``REPRO_VERIFY_IR``), so the walk is engineered to stay a small
+    fraction of compile time: reverse postorder and the predecessor map are
+    computed once and shared by every phase, and the dominator tree is only
+    built when a cross-block use actually needs a dominance query.
+    """
+    if not function.blocks:
+        raise IRVerificationError("function has no blocks",
+                                  function_name=function.name)
+
+    order = reverse_postorder(function)
+    preds = function.predecessors()
     _verify_block_structure(function)
-    _verify_phis(function)
-    _verify_defs_and_uses(function)
-    _verify_calls(function)
+    _verify_phis(function, order, preds)
+    _verify_defs_and_uses(function, order, preds)
+
+
+def _fail(message: str, function: Function,
+          block: Optional[BasicBlock] = None,
+          inst: Optional[Instruction] = None) -> None:
+    """Raise a verification error with full location context attached."""
+    snippet = None
+    if inst is not None:
+        from .printer import _value_names, format_instruction
+        try:
+            snippet = format_instruction(inst, _value_names(function))
+        except Exception:  # a malformed instruction must not mask the error
+            snippet = repr(inst)
+        if block is None:
+            block = inst.block
+    raise IRVerificationError(
+        message,
+        function_name=function.name,
+        block_name=block.name if block is not None else None,
+        instruction=snippet)
 
 
 # --------------------------------------------------------------------------- #
@@ -44,36 +79,33 @@ def verify_function(function: Function) -> None:
 # --------------------------------------------------------------------------- #
 def _verify_block_structure(function: Function) -> None:
     for block in function.blocks:
-        if not block.instructions:
-            raise IRVerificationError(
-                f"{function.name}/{block.name}: empty basic block")
-        terminator = block.instructions[-1]
+        instructions = block.instructions
+        if not instructions:
+            _fail("empty basic block", function, block)
+        terminator = instructions[-1]
         if not terminator.is_terminator:
-            raise IRVerificationError(
-                f"{function.name}/{block.name}: block does not end in a "
-                f"terminator (last opcode: {terminator.opcode})")
-        for inst in block.instructions[:-1]:
-            if inst.is_terminator:
-                raise IRVerificationError(
-                    f"{function.name}/{block.name}: terminator "
-                    f"{inst.opcode} in the middle of a block")
-        for inst in block.instructions:
+            _fail(f"block does not end in a terminator "
+                  f"(last opcode: {terminator.opcode})",
+                  function, block, terminator)
+        last = len(instructions) - 1
+        for idx, inst in enumerate(instructions):
             if inst.block is not block:
-                raise IRVerificationError(
-                    f"{function.name}/{block.name}: instruction "
-                    f"{inst.opcode} has a stale parent-block link")
+                _fail(f"instruction {inst.opcode} has a stale "
+                      f"parent-block link", function, block, inst)
+            if inst.is_terminator and idx != last:
+                _fail(f"terminator {inst.opcode} in the middle of a block",
+                      function, block, inst)
 
 
-def _verify_phis(function: Function) -> None:
-    preds = function.predecessors()
-    reachable = {id(b) for b in reverse_postorder(function)}
+def _verify_phis(function: Function, order: list[BasicBlock],
+                 preds: dict) -> None:
+    reachable = {id(b) for b in order}
     for block in function.blocks:
         seen_non_phi = False
         for inst in block.instructions:
             if isinstance(inst, PhiInst):
                 if seen_non_phi:
-                    raise IRVerificationError(
-                        f"{function.name}/{block.name}: phi after non-phi")
+                    _fail("phi after non-phi", function, block, inst)
                 if id(block) not in reachable:
                     continue
                 pred_ids = {id(p) for p in preds[block]}
@@ -81,98 +113,122 @@ def _verify_phis(function: Function) -> None:
                 if pred_ids != incoming_ids:
                     pred_names = sorted(p.name for p in preds[block])
                     inc_names = sorted(b.name for _, b in inst.incoming)
-                    raise IRVerificationError(
-                        f"{function.name}/{block.name}: phi incoming blocks "
-                        f"{inc_names} do not match predecessors {pred_names}")
+                    _fail(f"phi incoming blocks {inc_names} do not match "
+                          f"predecessors {pred_names}", function, block, inst)
             else:
                 seen_non_phi = True
 
 
-def _verify_defs_and_uses(function: Function) -> None:
-    order = reverse_postorder(function)
+def _verify_defs_and_uses(function: Function, order: list[BasicBlock],
+                          preds: dict) -> None:
     reachable = {id(b) for b in order}
-    dom_tree = compute_dominator_tree(function, order)
+    # The dominator tree is only needed for cross-block uses; straight-line
+    # functions (and the straight-line majority of post-DCE blocks) never
+    # pay for it.
+    dom_tree = None
 
-    defined_in: dict[int, BasicBlock] = {}
-    position: dict[int, int] = {}
-    for block in order:
-        for idx, inst in enumerate(block.instructions):
-            if inst.has_result:
-                if inst.uid in defined_in:
-                    raise IRVerificationError(
-                        f"{function.name}: value {inst.short_name()} defined "
-                        f"more than once (SSA violation)")
-                defined_in[inst.uid] = block
-                position[inst.uid] = idx
+    def dominates(def_block: BasicBlock, use_block: BasicBlock) -> bool:
+        nonlocal dom_tree
+        if dom_tree is None:
+            dom_tree = compute_dominator_tree(function, order, preds)
+        return dom_tree.dominates(def_block, use_block)
 
+    def check_phi_use(phi: PhiInst, operand: Instruction,
+                      def_block: BasicBlock, block: BasicBlock) -> None:
+        # Phi uses are checked against the incoming edge, not the phi's own
+        # block: the incoming value must dominate the incoming block.
+        for value, incoming_block in phi.incoming:
+            if value is operand:
+                if id(incoming_block) not in reachable:
+                    continue
+                if def_block is incoming_block:
+                    continue
+                if not dominates(def_block, incoming_block):
+                    _fail(f"phi incoming value {operand.short_name()} does "
+                          f"not dominate edge from {incoming_block.name}",
+                          function, block, phi)
+
+    # Single walk in reverse postorder: defs are recorded as they appear and
+    # uses are checked against the defs seen so far.  On a valid function
+    # only back-edge uses (phi incoming from loop latches) are seen before
+    # their definition; those go onto ``pending`` and are re-checked once
+    # every def is known.
+    defs: dict[int, tuple] = {}  # uid -> (defining block, index in block)
     arguments = {arg.uid for arg in function.args}
-
-    def check_use(user: Instruction, operand: Value, block: BasicBlock,
-                  idx: int) -> None:
-        if isinstance(operand, (Constant, Undef)):
-            return
-        if isinstance(operand, Argument):
-            if operand.uid not in arguments:
-                raise IRVerificationError(
-                    f"{function.name}: use of foreign argument "
-                    f"{operand.short_name()}")
-            return
-        if not isinstance(operand, Instruction):
-            raise IRVerificationError(
-                f"{function.name}: operand {operand!r} is not a value")
-        def_block = defined_in.get(operand.uid)
-        if def_block is None:
-            raise IRVerificationError(
-                f"{function.name}/{block.name}: use of value "
-                f"{operand.short_name()} that is never defined (or defined "
-                f"in an unreachable block)")
-        if isinstance(user, PhiInst):
-            # Phi uses are checked against the incoming edge, not the phi's
-            # own block: the incoming value must dominate the incoming block.
-            for value, incoming_block in user.incoming:
-                if value is operand:
-                    if id(incoming_block) not in reachable:
-                        continue
-                    if def_block is incoming_block:
-                        continue
-                    if not dom_tree.dominates(def_block, incoming_block):
-                        raise IRVerificationError(
-                            f"{function.name}/{block.name}: phi incoming "
-                            f"value {operand.short_name()} does not dominate "
-                            f"edge from {incoming_block.name}")
-            return
-        if def_block is block:
-            if position[operand.uid] >= idx:
-                raise IRVerificationError(
-                    f"{function.name}/{block.name}: value "
-                    f"{operand.short_name()} used before its definition")
-        elif not dom_tree.dominates(def_block, block):
-            raise IRVerificationError(
-                f"{function.name}/{block.name}: definition of "
-                f"{operand.short_name()} (in {def_block.name}) does not "
-                f"dominate this use")
+    pending: list[tuple] = []
 
     for block in order:
         for idx, inst in enumerate(block.instructions):
-            for operand in inst.value_operands():
-                check_use(inst, operand, block, idx)
+            is_phi = isinstance(inst, PhiInst)
+            for operand in inst.operands:
+                if isinstance(operand, Instruction):
+                    entry = defs.get(operand.uid)
+                    if entry is None:
+                        pending.append((block, idx, inst, operand))
+                    elif is_phi:
+                        check_phi_use(inst, operand, entry[0], block)
+                    else:
+                        def_block, def_idx = entry
+                        if def_block is block:
+                            if def_idx >= idx:
+                                _fail(f"value {operand.short_name()} used "
+                                      f"before its definition",
+                                      function, block, inst)
+                        elif not dominates(def_block, block):
+                            _fail(f"definition of {operand.short_name()} "
+                                  f"(in {def_block.name}) does not dominate "
+                                  f"this use", function, block, inst)
+                elif isinstance(operand, (Constant, Undef)):
+                    pass
+                elif isinstance(operand, Argument):
+                    if operand.uid not in arguments:
+                        _fail(f"use of foreign argument "
+                              f"{operand.short_name()}",
+                              function, block, inst)
+                else:
+                    _fail(f"operand {operand!r} is not a value",
+                          function, block, inst)
+            if inst.type.name != "void":  # has_result, sans property calls
+                if inst.uid in defs:
+                    _fail(f"value {inst.short_name()} defined more than "
+                          f"once (SSA violation)", function, block, inst)
+                defs[inst.uid] = (block, idx)
+            if isinstance(inst, CallInst):
+                _check_call(function, block, inst)
+
+    for block, idx, inst, operand in pending:
+        entry = defs.get(operand.uid)
+        if entry is None:
+            _fail(f"use of value {operand.short_name()} that is never "
+                  f"defined (or defined in an unreachable block)",
+                  function, block, inst)
+        def_block, def_idx = entry
+        if isinstance(inst, PhiInst):
+            check_phi_use(inst, operand, def_block, block)
+        elif def_block is block:
+            if def_idx >= idx:
+                _fail(f"value {operand.short_name()} used before its "
+                      f"definition", function, block, inst)
+        elif not dominates(def_block, block):
+            _fail(f"definition of {operand.short_name()} (in "
+                  f"{def_block.name}) does not dominate this use",
+                  function, block, inst)
 
 
-def _verify_calls(function: Function) -> None:
-    for inst in function.instructions():
-        if not isinstance(inst, CallInst):
-            continue
-        callee = inst.callee
-        arg_types = getattr(callee, "arg_types", None)
-        if arg_types is None:
-            # Call to another IR function: check against its argument list.
-            arg_types = tuple(arg.type for arg in callee.args)
-        if len(arg_types) != len(inst.args):
-            raise IRVerificationError(
-                f"{function.name}: call to @{callee.name} expects "
-                f"{len(arg_types)} arguments, got {len(inst.args)}")
-        for expected, actual in zip(arg_types, inst.args):
-            if expected != actual.type:
-                raise IRVerificationError(
-                    f"{function.name}: call to @{callee.name} argument type "
-                    f"mismatch: expected {expected}, got {actual.type}")
+def _check_call(function: Function, block: BasicBlock,
+                inst: CallInst) -> None:
+    callee = inst.callee
+    arg_types = getattr(callee, "arg_types", None)
+    if arg_types is None:
+        # Call to another IR function: check against its argument list.
+        arg_types = tuple(arg.type for arg in callee.args)
+    args = inst.operands
+    if len(arg_types) != len(args):
+        _fail(f"call to @{callee.name} expects {len(arg_types)} "
+              f"arguments, got {len(args)}",
+              function, block, inst)
+    for expected, actual in zip(arg_types, args):
+        if expected != actual.type:
+            _fail(f"call to @{callee.name} argument type mismatch: "
+                  f"expected {expected}, got {actual.type}",
+                  function, block, inst)

@@ -66,6 +66,13 @@ class ExecOptions:
     #: (currently: hash-join build-side entry counts).  EXPLAIN ANALYZE
     #: turns this on for its inner execution; everything else defaults off.
     collect_operator_stats: bool = False
+    #: Pass-pipeline validation: re-run the IR verifier after every
+    #: optimization pass that changed a function, and the bytecode verifier
+    #: after translation, so a bad rewrite fails at the pass that broke it.
+    #: ``None`` (the default) defers to the ``REPRO_VERIFY_IR`` environment
+    #: flag, which is how CI keeps validation on suite-wide; ``True`` /
+    #: ``False`` force it per execution.
+    verify_ir: Optional[bool] = None
 
     @classmethod
     def resolve(cls, options: Optional["ExecOptions"] = None,
@@ -143,3 +150,7 @@ class OptionsAccessors:
     @property
     def telemetry(self) -> str:
         return self.options.telemetry
+
+    @property
+    def verify_ir(self) -> Optional[bool]:
+        return self.options.verify_ir

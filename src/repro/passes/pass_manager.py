@@ -35,11 +35,24 @@ class PassStats:
 
 
 class PassManager:
-    """Runs an ordered list of function passes, optionally until fixpoint."""
+    """Runs an ordered list of function passes, optionally until fixpoint.
 
-    def __init__(self, passes: list[FunctionPass], max_iterations: int = 2):
+    With ``verify=True`` the IR verifier re-checks the function after every
+    pass that reported a change, so a bad rewrite fails *at the breaking
+    pass* (the raised :class:`repro.errors.IRVerificationError` carries the
+    pass name) instead of three tiers later.  The default of ``None`` defers
+    to the ``REPRO_VERIFY_IR`` environment flag, which is how CI keeps
+    validation on for the whole test suite.
+    """
+
+    def __init__(self, passes: list[FunctionPass], max_iterations: int = 2,
+                 verify: bool = None):
         self.passes = passes
         self.max_iterations = max_iterations
+        if verify is None:
+            from ..analysis import verify_ir_enabled
+            verify = verify_ir_enabled()
+        self.verify = verify
 
     def run_function(self, function: Function) -> PassStats:
         stats = PassStats(instructions_before=function.instruction_count())
@@ -56,11 +69,26 @@ class PassManager:
                     stats.per_pass_changes[pass_.name] = (
                         stats.per_pass_changes.get(pass_.name, 0) + 1)
                     changed = True
+                    if self.verify:
+                        self._verify_after(pass_, function)
             if not changed:
                 break
         stats.total_seconds = time.perf_counter() - start
         stats.instructions_after = function.instruction_count()
         return stats
+
+    @staticmethod
+    def _verify_after(pass_: FunctionPass, function: Function) -> None:
+        from ..errors import IRVerificationError
+        from ..ir.verifier import verify_function
+        try:
+            verify_function(function)
+        except IRVerificationError as error:
+            wrapped = IRVerificationError(str(error), pass_name=pass_.name)
+            wrapped.function_name = error.function_name
+            wrapped.block_name = error.block_name
+            wrapped.instruction = error.instruction
+            raise wrapped from error
 
     def run_module(self, module: Module) -> PassStats:
         total = PassStats()
@@ -78,7 +106,7 @@ class PassManager:
         return total
 
 
-def default_pipeline() -> PassManager:
+def default_pipeline(verify: bool = None) -> PassManager:
     """The optimized tier's pass pipeline (mirrors the paper's pass list)."""
     from .constant_folding import ConstantFoldingPass
     from .cse import CommonSubexpressionEliminationPass
@@ -92,4 +120,4 @@ def default_pipeline() -> PassManager:
         CommonSubexpressionEliminationPass(),
         SimplifyCFGPass(),
         DeadCodeEliminationPass(),
-    ])
+    ], verify=verify)

@@ -208,18 +208,19 @@ class PreparedQuery:
                 database, num_threads=opts.threads,
                 collect_trace=opts.collect_trace,
                 cost_model=cost_model, policy=policy, handles=self._handles,
-                use_pruning=opts.use_pruning)
+                use_pruning=opts.use_pruning, verify_ir=opts.verify_ir)
             result = executor.execute(self.generated, self.planning, timings)
         elif opts.threads > 1:
             executor = StaticParallelExecutor(
                 database, mode=mode, num_threads=opts.threads,
                 collect_trace=opts.collect_trace, tiers=self._tiers,
-                use_pruning=opts.use_pruning)
+                use_pruning=opts.use_pruning, verify_ir=opts.verify_ir)
             result = executor.execute(self.generated, self.planning, timings)
         else:
             result = database._execute_static(
                 self.generated, self.planning, timings, mode,
-                tiers=self._tiers, use_pruning=opts.use_pruning)
+                tiers=self._tiers, use_pruning=opts.use_pruning,
+                verify_ir=opts.verify_ir)
         self.executions += 1
         result.cached = not first
         # Free the execution state eagerly: the result no longer aliases it

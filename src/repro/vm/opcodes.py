@@ -192,3 +192,76 @@ OVERFLOW_TO_OPCODE = {
     "sub": Opcode.OVF_SUB_I64,
     "mul": Opcode.OVF_MUL_I64,
 }
+
+
+class OpcodeSignature(NamedTuple):
+    """Static register/control effects of one opcode.
+
+    ``reads`` / ``writes`` name the instruction fields (``"a1"``, ``"a2"``,
+    ``"a3"``, ``"lit"``) holding register slots the instruction reads or
+    writes; ``jumps`` names fields holding absolute jump targets.  ``call``
+    marks the two call opcodes, whose ``lit`` is an ``(impl, arg_slots)``
+    descriptor (the tuple's slots are all read).  ``falls_through`` is False
+    for every opcode after which execution never reaches ``ip + 1``.
+
+    This table is the single source of truth for the bytecode verifier's
+    abstract interpretation (:mod:`repro.analysis.bytecode_verifier`); a new
+    opcode without a signature is itself a verification failure.
+    """
+
+    reads: tuple = ()
+    writes: tuple = ()
+    jumps: tuple = ()
+    call: bool = False
+    falls_through: bool = True
+
+
+def _binary_signature() -> OpcodeSignature:
+    return OpcodeSignature(reads=("a2", "a3"), writes=("a1",))
+
+
+def _unary_signature() -> OpcodeSignature:
+    return OpcodeSignature(reads=("a2",), writes=("a1",))
+
+
+#: Opcode -> :class:`OpcodeSignature` for every opcode the VM understands.
+OPCODE_SIGNATURES: dict = {
+    Opcode.MOV: _unary_signature(),
+    Opcode.LOAD_CONST: OpcodeSignature(writes=("a1",)),
+    # SELECT reads its condition register out of ``lit``.
+    Opcode.SELECT: OpcodeSignature(reads=("a2", "a3", "lit"), writes=("a1",)),
+    Opcode.SITOFP: _unary_signature(),
+    Opcode.FPTOSI: _unary_signature(),
+    Opcode.TRUNC: _unary_signature(),        # lit is a bit width, not a slot
+    Opcode.GEP: OpcodeSignature(reads=("a2", "a3"), writes=("a1",)),
+    Opcode.LOAD: _unary_signature(),
+    Opcode.STORE: OpcodeSignature(reads=("a1", "a2")),
+    Opcode.LOAD_IDX: OpcodeSignature(reads=("a2", "a3"), writes=("a1",)),
+    Opcode.STORE_IDX: OpcodeSignature(reads=("a1", "a2", "a3")),
+    Opcode.CALL: OpcodeSignature(writes=("a1",), call=True),
+    Opcode.CALL_VOID: OpcodeSignature(call=True),
+    Opcode.BR: OpcodeSignature(jumps=("lit",), falls_through=False),
+    Opcode.CONDBR: OpcodeSignature(reads=("a1",), jumps=("a2", "a3"),
+                                   falls_through=False),
+    Opcode.RET: OpcodeSignature(falls_through=False),
+    Opcode.RET_VAL: OpcodeSignature(reads=("a1",), falls_through=False),
+    Opcode.TRAP: OpcodeSignature(falls_through=False),
+}
+
+# All two-operand arithmetic / comparison / overflow-predicate opcodes share
+# the (reads a2+a3, writes a1) shape.
+for _op in (Opcode.ADD_I64, Opcode.SUB_I64, Opcode.MUL_I64, Opcode.SDIV_I64,
+            Opcode.SREM_I64, Opcode.AND_I64, Opcode.OR_I64, Opcode.XOR_I64,
+            Opcode.SHL_I64, Opcode.ASHR_I64, Opcode.SMIN_I64, Opcode.SMAX_I64,
+            Opcode.ADD_CHK_I64, Opcode.SUB_CHK_I64, Opcode.MUL_CHK_I64,
+            Opcode.OVF_ADD_I64, Opcode.OVF_SUB_I64, Opcode.OVF_MUL_I64,
+            Opcode.ADD_F64, Opcode.SUB_F64, Opcode.MUL_F64, Opcode.DIV_F64,
+            Opcode.FMIN_F64, Opcode.FMAX_F64,
+            Opcode.ICMP_EQ_I64, Opcode.ICMP_NE_I64, Opcode.ICMP_LT_I64,
+            Opcode.ICMP_LE_I64, Opcode.ICMP_GT_I64, Opcode.ICMP_GE_I64,
+            Opcode.FCMP_EQ_F64, Opcode.FCMP_NE_F64, Opcode.FCMP_LT_F64,
+            Opcode.FCMP_LE_F64, Opcode.FCMP_GT_F64, Opcode.FCMP_GE_F64,
+            Opcode.OCMP_EQ, Opcode.OCMP_NE, Opcode.OCMP_LT, Opcode.OCMP_LE,
+            Opcode.OCMP_GT, Opcode.OCMP_GE):
+    OPCODE_SIGNATURES[_op] = _binary_signature()
+del _op

@@ -131,10 +131,13 @@ def translate_function(function: Function,
             return 0
         return allocation.slot(value)
 
-    # Pre-compute use counts of GEP results for the memory fusion.
+    # Pre-compute use counts of GEP results for the memory fusion, and of
+    # overflow checks for the checked-arithmetic fusion.
     gep_single_use: dict[int, Instruction] = {}
+    check_use_count: dict[int, int] = {}
     if enable_fusion:
         gep_single_use = _find_fusable_geps(function)
+        check_use_count = _overflow_check_uses(function)
 
     block_offsets: dict[str, int] = {}
     # Trampolines for phi copies on conditional edges: (label, copies, target).
@@ -159,7 +162,7 @@ def translate_function(function: Function,
                         and position + 2 < len(instructions)):
                     fused = _try_fuse_overflow(
                         emitter, inst, instructions, position, subsumed,
-                        slot_for, stats, block)
+                        slot_for, stats, block, check_use_count)
                 if not fused:
                     opcode = BINARY_TO_OPCODE[(inst.opcode,
                                                inst.type.is_float
@@ -357,10 +360,25 @@ def _find_fusable_geps(function: Function) -> dict[int, Instruction]:
     return fusable
 
 
+def _overflow_check_uses(function: Function) -> dict[int, int]:
+    """Use counts of overflow-check results, keyed by uid."""
+    use_count: dict[int, int] = {}
+    for block in function.blocks:
+        for inst in block.instructions:
+            operands = (inst.value_operands()
+                        if not isinstance(inst, PhiInst)
+                        else [v for v, _ in inst.incoming])
+            for operand in operands:
+                if isinstance(operand, OverflowCheckInst):
+                    use_count[operand.uid] = use_count.get(operand.uid, 0) + 1
+    return use_count
+
+
 def _try_fuse_overflow(emitter: _Emitter, inst: BinaryInst,
                        instructions: list[Instruction], position: int,
                        subsumed: set[int], slot_for, stats: TranslationStats,
-                       block: BasicBlock) -> bool:
+                       block: BasicBlock,
+                       check_use_count: dict[int, int]) -> bool:
     """Try to fuse ``op / ovf.op / condbr`` into a single checked opcode.
 
     The pattern produced by :meth:`IRBuilder.checked_arith` places the
@@ -380,6 +398,11 @@ def _try_fuse_overflow(emitter: _Emitter, inst: BinaryInst,
     if check.lhs is not inst.lhs or check.rhs is not inst.rhs:
         return False
     if branch.condition is not check:
+        return False
+    if check_use_count.get(check.uid, 0) != 1:
+        # After CSE a second branch elsewhere may test the same check value;
+        # subsuming the check's register write would leave that branch
+        # reading an undefined register.  Keep the unfused form.
         return False
     # The branch must be the block terminator (it is, by construction).
     opcode = CHECKED_TO_OPCODE[inst.opcode]

@@ -14,6 +14,12 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+# Pass-pipeline validation stays on for the whole suite: every optimization
+# pass is re-verified and every bytecode translation is checked, so a bad
+# rewrite fails the test that compiled it, at the pass that broke it.
+# Explicit ExecOptions(verify_ir=...) and pre-set environments still win.
+os.environ.setdefault("REPRO_VERIFY_IR", "1")
+
 # ---------------------------------------------------------------------- #
 # Per-test timeout: a deadlock in the concurrent scheduler must fail the
 # run, not hang it.  CI installs pytest-timeout and passes --timeout; when

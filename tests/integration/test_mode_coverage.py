@@ -71,6 +71,55 @@ def test_tpcds_mode_coverage(tpcds_db, mode):
         f"failures: {failures}")
 
 
+# --------------------------------------------------------------------------- #
+# static verification sweep: every workload module, both verifiers, zero
+# findings -- over the pristine IR, the bytecode translation, the register
+# allocation, and the optimized clone after the full pass pipeline.
+# --------------------------------------------------------------------------- #
+def _static_verify_module(module, label):
+    from repro.analysis import (check_extern_contracts, verify_allocation,
+                                verify_bytecode)
+    from repro.backend.compiler import _clone_function
+    from repro.ir import verify_function
+    from repro.passes import default_pipeline
+    from repro.vm import allocate_registers, translate_function
+
+    findings = check_extern_contracts(module)
+    assert findings == [], (
+        f"{label}: extern-contract findings: "
+        + "; ".join(str(f) for f in findings))
+    for function in module.functions.values():
+        verify_function(function)
+        bytecode, _ = translate_function(function)
+        verify_bytecode(bytecode)
+        verify_allocation(function, allocate_registers(function))
+        # The optimized tier's clone must stay verifiable after every pass
+        # (the pipeline re-verifies per pass with verify=True) and still
+        # translate to clean bytecode afterwards.
+        clone = _clone_function(function)
+        default_pipeline(verify=True).run_function(clone)
+        verify_function(clone)
+        optimized_bytecode, _ = translate_function(clone)
+        verify_bytecode(optimized_bytecode)
+        verify_allocation(clone, allocate_registers(clone))
+
+
+def test_tpch_static_verification_sweep(tpch_db_tiny):
+    """All 22 TPC-H modules pass both verifiers with zero findings, before
+    and after optimization."""
+    for number in sorted(TPCH_QUERIES):
+        generated, _, _ = tpch_db_tiny.generate(TPCH_QUERIES[number])
+        _static_verify_module(generated.module, f"tpch q{number}")
+
+
+def test_tpcds_static_verification_sweep(tpcds_db):
+    """All 7 TPC-DS modules pass both verifiers with zero findings, before
+    and after optimization."""
+    for number in sorted(TPCDS_QUERIES):
+        generated, _, _ = tpcds_db.generate(TPCDS_QUERIES[number])
+        _static_verify_module(generated.module, f"tpcds q{number}")
+
+
 def test_ordered_limit_workload_queries_agree_across_modes(tpch_db_tiny):
     """The TPC-H queries with ORDER BY + LIMIT (the top-k breaker's
     workload surface) return identical rows in every mode, with the

@@ -302,10 +302,10 @@ class TestAdaptiveCompileAccounting:
         real_compile = modes_module.compile_function
         calls = []
 
-        def slow_compile(function, tier):
+        def slow_compile(function, tier, **kwargs):
             calls.append((function.name, tier))
             time.sleep(sleep_seconds)
-            return real_compile(function, tier)
+            return real_compile(function, tier, **kwargs)
 
         monkeypatch.setattr(modes_module, "compile_function", slow_compile)
 
