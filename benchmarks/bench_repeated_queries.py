@@ -15,6 +15,7 @@ call.  This benchmark shows the amortisation the plan/artifact cache buys:
 
 import pytest
 
+from repro import ExecOptions
 from repro.backend.cost_model import CostModel, TierEstimate
 from repro.workloads import TPCH_QUERIES, populate_tpch
 
@@ -83,7 +84,11 @@ def test_adaptive_reuses_compiled_tiers(repeat_db):
     })
     prepared = db.prepare_query(SQL)
     first = prepared.execute(mode="adaptive", cost_model=model)
-    second = prepared.execute(mode="adaptive", cost_model=model)
+    # use_result_cache=False: the rerun must actually execute -- its
+    # per-pipeline mode history is the observable being tested.
+    second = prepared.execute(
+        options=ExecOptions(mode="adaptive", use_result_cache=False),
+        cost_model=model)
 
     rows = [[p.name, "->".join(p.mode_history)] for p in first.pipelines]
     rows += [[p.name + " (rerun)", "->".join(p.mode_history)]

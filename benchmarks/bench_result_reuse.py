@@ -1,0 +1,227 @@
+"""Result-cache throughput on a Zipfian hot-shape workload.
+
+The serving scenario behind ``execute_many`` + the semantic result cache:
+a dashboard-style client population hammers a handful of query *shapes*
+with a small pool of bindings, Zipf-distributed -- a few (shape, binding)
+pairs dominate the traffic.  The plan cache already amortizes preparation;
+this benchmark measures what skipping *execution* is worth on top:
+
+* ``executed``  -- every query runs for real (``use_result_cache=False``;
+  the plan cache stays on, so this isolates the result cache's benefit).
+* ``cached``    -- the default path: repeated identical reads are served
+  from the result cache.
+* ``dispatched``/``fused`` -- the same batched traffic through per-query
+  ``execute`` versus one ``execute_many`` call per client batch.
+
+A stale-read check runs the cached workload with inserts interleaved at
+fixed points; every read is compared against a Python oracle over the
+table's current contents, and a single stale row fails the run.
+
+Acceptance (asserted below): cached >= 5x executed throughput, 0 stale
+results.
+
+Run as a script (CI smoke, tiny scale): ``python benchmarks/bench_result_reuse.py``
+Run under pytest for the benchmark fixture: ``pytest benchmarks/bench_result_reuse.py``
+Environment: ``REPRO_BENCH_TINY=1`` shrinks the table, ``REPRO_BENCH_FULL=1`` grows it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for _path in (os.path.join(os.path.dirname(_HERE), "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro import Database, SQLType  # noqa: E402
+from repro.options import ExecOptions  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") == "1"
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+ROWS = 4_000 if TINY else (60_000 if FULL else 20_000)
+QUERIES = 400 if TINY else (2_000 if FULL else 1_000)
+#: Bindings per shape: small on purpose -- hot dashboards repeat params.
+POOL = 4
+ZIPF_S = 1.2
+
+#: Eight hot shapes: filters and aggregates of varying cost over one
+#: orders table, each parameterized on one value from a small pool.
+SHAPES = [
+    "select count(*) as n from orders where store = ?",
+    "select sum(price) as s from orders where store = ?",
+    "select avg(price) as a, count(*) as n from orders where category = ?",
+    "select store, sum(price) as s from orders where category = ? "
+    "group by store order by s desc",
+    "select count(*) as n from orders where quantity >= ?",
+    "select min(price) as lo, max(price) as hi from orders "
+    "where store = ?",
+    "select category, count(*) as n from orders where quantity = ? "
+    "group by category order by n desc limit 5",
+    "select sum(price * quantity) as v from orders where store = ?",
+]
+
+
+def build_database(**kwargs) -> Database:
+    db = Database(morsel_size=4096, **kwargs)
+    db.create_table("orders", [("o_id", SQLType.INT64),
+                               ("category", SQLType.INT64),
+                               ("store", SQLType.INT64),
+                               ("price", SQLType.FLOAT64),
+                               ("quantity", SQLType.INT64)])
+    db.insert("orders", [(i, i % 7, i % POOL, (i * 37 % 1000) / 10.0,
+                          i % 6) for i in range(ROWS)])
+    return db
+
+
+def zipfian_workload(count: int, seed: int = 42) -> list:
+    """``(shape index, binding)`` pairs, Zipf-distributed over the
+    (shape, binding) universe: rank r drawn with weight 1 / r**ZIPF_S."""
+    universe = [(shape, (binding,)) for shape in range(len(SHAPES))
+                for binding in range(POOL)]
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(universe))]
+    rng = random.Random(seed)
+    return rng.choices(universe, weights=weights, k=count)
+
+
+def measure_sequential(db, workload, use_result_cache: bool) -> float:
+    options = ExecOptions(use_result_cache=use_result_cache)
+    start = time.perf_counter()
+    for shape, binding in workload:
+        db.execute(SHAPES[shape], params=binding, options=options)
+    return time.perf_counter() - start
+
+
+def measure_fused(db, workload, batch_size: int = 32) -> float:
+    """The same traffic as client batches through ``execute_many``: each
+    batch is grouped by shape and fused into one call per shape.  Both
+    ``dispatched`` and ``fused`` run the default (cache-enabled) path, so
+    the comparison measures what fusion adds on top: one lock
+    acquisition, one validity check and intra-batch deduplication of
+    repeated bindings per group, instead of the full per-query path."""
+    start = time.perf_counter()
+    for begin in range(0, len(workload), batch_size):
+        by_shape: dict = {}
+        for shape, binding in workload[begin:begin + batch_size]:
+            by_shape.setdefault(shape, []).append(binding)
+        for shape, bindings in by_shape.items():
+            db.execute_many(SHAPES[shape], bindings)
+    return time.perf_counter() - start
+
+
+def check_no_stale_reads(db) -> int:
+    """Cached workload with interleaved inserts; returns stale-row count."""
+    stale = 0
+    shadow_count = ROWS  # oracle for shape 0 with binding (0,)
+    extra_per_store = [0] * POOL
+    sql = SHAPES[0]
+    for step in range(200 if not TINY else 80):
+        binding = step % POOL
+        if step % 7 == 3:
+            db.insert("orders", [(ROWS + step, step % 7, binding,
+                                  1.0, step % 6)])
+            extra_per_store[binding] += 1
+            shadow_count += 1
+        expected = sum(1 for i in range(ROWS)
+                       if i % POOL == binding) + extra_per_store[binding]
+        result = db.execute(sql, params=(binding,))
+        if result.rows != [(expected,)]:
+            stale += 1
+    return stale
+
+
+def run_benchmark(report=print) -> dict:
+    from conftest import fmt_ms, print_table
+
+    workload = zipfian_workload(QUERIES)
+    db = build_database()
+    try:
+        # Warm the plan cache for both configurations, so the comparison
+        # isolates execution-skipping from preparation-skipping.
+        for shape in range(len(SHAPES)):
+            db.execute(SHAPES[shape], params=(0,),
+                       options=ExecOptions(use_result_cache=False))
+
+        executed = measure_sequential(db, workload, use_result_cache=False)
+        db.result_cache.clear()
+        cached = measure_sequential(db, workload, use_result_cache=True)
+        flat = db.metrics.flat_snapshot()
+        hit_rate = db.result_cache.stats.hit_rate
+
+        db.result_cache.clear()
+        dispatched = measure_sequential(db, workload,
+                                        use_result_cache=True)
+        db.result_cache.clear()
+        fused = measure_fused(db, workload)
+
+        stale = check_no_stale_reads(db)
+
+        n = len(workload)
+        print_table(
+            f"Zipfian traffic: {len(SHAPES)} shapes x {POOL} bindings, "
+            f"{n} queries ({ROWS} rows)",
+            ["configuration", "wall ms", "us/query", "queries/s"],
+            [["executed (no result cache)", fmt_ms(executed),
+              f"{executed / n * 1e6:.1f}", f"{n / executed:,.0f}"],
+             ["cached (result cache)", fmt_ms(cached),
+              f"{cached / n * 1e6:.1f}", f"{n / cached:,.0f}"],
+             ["dispatched (per-query)", fmt_ms(dispatched),
+              f"{dispatched / n * 1e6:.1f}", f"{n / dispatched:,.0f}"],
+             ["fused (execute_many)", fmt_ms(fused),
+              f"{fused / n * 1e6:.1f}", f"{n / fused:,.0f}"]])
+        report(f"result cache over the cached sweep: "
+               f"{db.result_cache.stats.hits} hits, "
+               f"hit rate {hit_rate:.1%}; "
+               f"stale results under interleaved inserts: {stale}")
+        return {"executed": executed, "cached": cached,
+                "dispatched": dispatched, "fused": fused,
+                "hit_rate": hit_rate, "stale": stale,
+                "speedup": executed / cached,
+                "fused_speedup": dispatched / fused}
+    finally:
+        db.close()
+
+
+def _acceptance(metrics) -> bool:
+    return metrics["speedup"] >= 5.0 and metrics["stale"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+def test_result_cache_speedup_and_freshness():
+    metrics = run_benchmark()
+    # Acceptance: serving the Zipfian hot set from the result cache is
+    # >= 5x per-query execution, with zero stale reads under mutation.
+    assert metrics["speedup"] >= 5.0, metrics
+    assert metrics["stale"] == 0, metrics
+    assert metrics["hit_rate"] >= 0.5, metrics
+
+
+def test_cached_read_latency(benchmark):
+    db = build_database()
+    try:
+        sql = SHAPES[0]
+        db.execute(sql, params=(0,))  # populate the cache entry
+
+        def cached_read():
+            return db.execute(sql, params=(0,))
+
+        result = benchmark(cached_read)
+        assert result.cache_source == "result"
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":
+    metrics = run_benchmark()
+    ok = _acceptance(metrics)
+    print(f"\nspeedup {metrics['speedup']:.2f}x (>= 5x required), "
+          f"fused {metrics['fused_speedup']:.2f}x vs dispatched, "
+          f"stale {metrics['stale']} (0 required) -- "
+          f"{'PASS' if ok else 'FAIL'}")
+    sys.exit(0 if ok else 1)

@@ -46,7 +46,10 @@ HOT_QUERY = ("select category, sum(price) as total, count(*) as n "
 
 
 def build_database() -> Database:
-    db = Database(morsel_size=4096, workers=2)
+    # result_cache_size=0: the overhead comparison repeats one hot
+    # query; result-cache hits would skip the instrumented execution
+    # entirely and measure cache latency instead.
+    db = Database(morsel_size=4096, workers=2, result_cache_size=0)
     db.create_table("orders", [("o_id", SQLType.INT64),
                                ("category", SQLType.INT64),
                                ("price", SQLType.FLOAT64),

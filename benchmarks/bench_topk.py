@@ -50,7 +50,9 @@ TOPK_SQL = (f"select ts, device, reading from events "
 
 
 def build_database() -> Database:
-    db = Database(morsel_size=4096, workers=WORKERS)
+    # result_cache_size=0: the finish-strategy comparison re-runs one SQL
+    # string; cached results would flatten both sides to cache latency.
+    db = Database(morsel_size=4096, workers=WORKERS, result_cache_size=0)
     db.create_table("events", [("ts", SQLType.INT64),
                                ("device", SQLType.INT64),
                                ("reading", SQLType.FLOAT64)])

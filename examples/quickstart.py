@@ -112,6 +112,24 @@ def main() -> None:
         count, revenue = result.rows[0]
         print(f"  {segment:12s}  orders={count:5d}  revenue={revenue:11.2f}")
 
+    # --- batch bindings + the result cache ---------------------------------
+    # execute_many fuses many bindings of one shape into a single pass:
+    # the plan is resolved and validated once, every binding is encoded
+    # up front, and identical bindings are deduplicated.  Repeated
+    # identical reads are served from the semantic result cache
+    # (invalidated by catalog versions, so an insert is always visible);
+    # ExecOptions(use_result_cache=False) forces real execution.
+    batch = db.execute_many(
+        "select count(*) as n from orders where o_customer < ?",
+        [(25,), (50,), (25,), (100,)])
+    print("\nexecute_many over one prepared shape:")
+    for (binding,), result in zip([(25,), (50,), (25,), (100,)], batch):
+        print(f"  o_customer<{binding:3d}: rows={result.rows[0][0]:5d}  "
+              f"cached={result.cached} ({result.cache_source or 'executed'})")
+    rc = db.result_cache.stats
+    print(f"result cache: {rc.hits} hits / {rc.lookups} lookups, "
+          f"{len(db.result_cache)} entries ({rc.bytes} bytes)")
+
     # --- concurrent submission: tickets, sessions, admission control -------
     # Database.submit enqueues a query and returns immediately; the query
     # runs on the database's shared worker pool (bounded threads, fair

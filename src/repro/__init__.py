@@ -37,9 +37,16 @@ from .cache import (
     auto_parameterize_sql,
     normalize_sql,
 )
+from .result_cache import (
+    CachedResult,
+    ResultCache,
+    ResultCacheStats,
+    result_cache_key,
+)
 from .client import (
     ClientConnection,
     ClientResult,
+    PendingBatchResult,
     PendingResult,
     PreparedStatement,
     connect,
@@ -84,11 +91,12 @@ __all__ = [
     "Database", "QueryResult", "PhaseTimings", "PipelineExecution",
     "PreparedQuery", "PlanCache", "CacheStats", "normalize_sql",
     "auto_parameterize_sql",
+    "ResultCache", "ResultCacheStats", "CachedResult", "result_cache_key",
     "ExecOptions", "ParameterSpec",
     "QueryScheduler", "QueryTicket", "SchedulerStats", "TicketState",
     "Session", "SessionStats", "WorkerPool",
     "QueryServer", "connect", "ClientConnection", "ClientResult",
-    "PendingResult", "PreparedStatement",
+    "PendingResult", "PendingBatchResult", "PreparedStatement",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "QueryTrace", "Span", "TierSwitchEvent", "ExplainResult",
     "SQLType", "ReproError", "SQLError", "ParameterError",

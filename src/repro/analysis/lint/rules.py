@@ -322,6 +322,67 @@ class StatsKeyRule(Rule):
                           f"— use the typed telemetry instruments instead")
 
 
+# --------------------------------------------------------------------------- #
+# R5: result-cache key construction
+# --------------------------------------------------------------------------- #
+class ResultCacheKeyRule(Rule):
+    """Result-cache lookups must key through ``result_cache_key()``.
+
+    The semantic result cache is only sound if every probe and store uses
+    the one sanctioned key constructor: it type-qualifies binding values
+    (``a = 2`` and ``a = 2.0`` hash equal but are different queries) and
+    fixes the ``(plan key, mode, bindings)`` structure invalidation relies
+    on.  A hand-rolled tuple key at any ``.get()``/``.put()`` site would
+    silently reintroduce the cross-type collision, so the key argument
+    must be a direct ``result_cache_key(...)`` call or a local assigned
+    from one in the same function.
+    """
+
+    rule_id = "result-cache-key"
+    description = ("result-cache .get()/.put() keys must come from "
+                   "result_cache_key()")
+
+    def check(self, tree: ast.Module, source: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(node)
+
+    def _check_function(self, function: ast.AST) -> Iterator[Finding]:
+        sanctioned: set = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) \
+                    and _is_key_constructor_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        sanctioned.add(target.id)
+        for node in ast.walk(function):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("get", "put")
+                    and _is_result_cache_expr(node.func.value)
+                    and node.args):
+                continue
+            key = node.args[0]
+            if _is_key_constructor_call(key):
+                continue
+            if isinstance(key, ast.Name) and key.id in sanctioned:
+                continue
+            yield self.finding(
+                node, f".{node.func.attr}() on a result cache with a key "
+                      f"not built by result_cache_key() — hand-rolled keys "
+                      f"lose the type qualification of binding values")
+
+
+def _is_result_cache_expr(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and "result_cache" in name
+
+
+def _is_key_constructor_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and _terminal_name(node.func) == "result_cache_key")
+
+
 #: Registry of active rules, in reporting order.
 ALL_RULES = (LockDisciplineRule, SealedChunkRule, HotPathLockRule,
-             StatsKeyRule)
+             StatsKeyRule, ResultCacheKeyRule)

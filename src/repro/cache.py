@@ -292,6 +292,24 @@ class PlanCache:
             self.stats.hits += 1
             return entry
 
+    def peek(self, key: str):
+        """The cached entry for ``key`` without touching stats or LRU order.
+
+        Used by probe-only callers (the server's result-cache fast path):
+        a peek must not inflate the hit/miss counters of the execution path
+        and must not rejuvenate an entry nobody executed.  Invalid entries
+        are left in place -- the next real :meth:`get` drops and counts
+        them -- and reported as ``None``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            is_valid = getattr(entry, "is_valid", None)
+            if is_valid is not None and not is_valid():
+                return None
+            return entry
+
     def put(self, key: str, entry) -> None:
         """Insert ``entry`` under ``key``, evicting the LRU tail if full."""
         if self.capacity == 0:

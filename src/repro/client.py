@@ -50,19 +50,26 @@ class ClientResult:
     """One query's result as received over the wire."""
 
     def __init__(self, column_names: list, column_types: list,
-                 rows: list, done: protocol.Done):
+                 rows: list, done):
         self.column_names = column_names
         #: :class:`repro.SQLType` per result column.
         self.column_types = [SQLType(name) for name in column_types]
         #: Rows in the engine's internal representation.
         self.rows = rows
-        #: Execution mode the server ran the query in.
-        self.mode = done.mode
-        #: True when the server served the query from a cached plan.
+        #: Execution mode the server ran the query in ("" inside an
+        #: EXECUTE_MANY stream, where the mode arrives on the final DONE).
+        self.mode = getattr(done, "mode", "")
+        #: True when the server served the query from a cached plan or a
+        #: cached result.
         self.cached = done.cached
-        #: Engine-side work seconds and admission-queue wait seconds.
-        self.total_seconds = done.total_seconds
-        self.queue_seconds = done.queue_seconds
+        #: What a cached execution reused: ``"plan"``, ``"result"``, or
+        #: ``None`` (unknown / not cached; single EXECUTE responses do not
+        #: carry the distinction).
+        self.cache_source = getattr(done, "cache_source", "") or None
+        #: Engine-side work seconds and admission-queue wait seconds
+        #: (0.0 for per-binding results of an EXECUTE_MANY batch).
+        self.total_seconds = getattr(done, "total_seconds", 0.0)
+        self.queue_seconds = getattr(done, "queue_seconds", 0.0)
 
     def decoded_rows(self) -> list:
         """Rows with DATE/BOOL/DECIMAL columns decoded to Python objects."""
@@ -167,6 +174,79 @@ class PendingResult:
         return self._connection._cancel(self.request_id)
 
 
+class PendingBatchResult:
+    """Handle to one in-flight EXECUTE_MANY; resolves to a result list.
+
+    The response stream interleaves one ``BATCH_DONE`` per binding between
+    the row batches; each binding becomes its own :class:`ClientResult`
+    (with ``cached`` / ``cache_source`` per binding), in request order.
+    """
+
+    def __init__(self, connection: "ClientConnection", pending: _Pending):
+        self._connection = connection
+        self._pending = pending
+        self._results: Optional[list] = None
+        self._error: Optional[BaseException] = None
+        self._consumed = False
+
+    @property
+    def request_id(self) -> int:
+        return self._pending.request_id
+
+    def result(self, timeout: Optional[float] = None) -> list:
+        """Block until DONE; returns the ordered ``list[ClientResult]``."""
+        if not self._consumed:
+            self._consume(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._results
+
+    def _consume(self, timeout: Optional[float]) -> None:
+        names: list = []
+        types: list = []
+        rows: list = []
+        results: list = []
+        while True:
+            try:
+                frame = self._pending.frames.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"no response for request {self.request_id} within "
+                    f"{timeout} seconds")
+            if isinstance(frame, BaseException):
+                self._error = frame
+                break
+            if isinstance(frame, protocol.RowHeader):
+                names = frame.column_names
+                types = frame.column_types
+            elif isinstance(frame, protocol.RowBatch):
+                rows.extend(frame.rows)
+            elif isinstance(frame, protocol.BatchDone):
+                results.append(ClientResult(names, types, rows, frame))
+                rows = []
+            elif isinstance(frame, protocol.Done):
+                # The terminal frame carries batch-wide totals; stamp the
+                # fields every per-binding result shares.
+                for result in results:
+                    result.mode = frame.mode
+                self._results = results
+                break
+            elif isinstance(frame, protocol.Error):
+                self._error = _error_from_frame(frame)
+                break
+            else:
+                self._error = ProtocolError(
+                    f"unexpected frame {type(frame).__name__.upper()} in "
+                    f"an EXECUTE_MANY response stream")
+                break
+        self._consumed = True
+        self._connection._forget(self._pending)
+
+    def cancel(self) -> bool:
+        """Ask the server to cancel the whole batch (CANCEL frame)."""
+        return self._connection._cancel(self.request_id)
+
+
 def _error_from_frame(frame: protocol.Error) -> BaseException:
     if frame.code == "BUSY":
         return ServerBusyError(frame.message,
@@ -204,6 +284,15 @@ class PreparedStatement:
     def execute_async(self, params=None, **options) -> PendingResult:
         return self._connection.execute_async(
             statement=self, params=params, **options)
+
+    def execute_many(self, bindings, timeout: Optional[float] = None,
+                     **options) -> list:
+        return self._connection.execute_many(
+            statement=self, bindings=bindings, timeout=timeout, **options)
+
+    def execute_many_async(self, bindings, **options) -> PendingBatchResult:
+        return self._connection.execute_many_async(
+            statement=self, bindings=bindings, **options)
 
     def close(self) -> None:
         """Drop the server-side registry entry (idempotent best-effort)."""
@@ -359,6 +448,42 @@ class ClientConnection:
         """Execute and wait for the full result (see :meth:`execute_async`)."""
         return self.execute_async(
             sql, params=params, statement=statement,
+            batch_rows=batch_rows, **options).result(timeout=timeout)
+
+    def execute_many_async(self, sql: str = "", bindings=(),
+                           statement: Optional[PreparedStatement] = None,
+                           batch_rows: int = 0,
+                           **options) -> PendingBatchResult:
+        """Submit one EXECUTE_MANY for a whole batch of bindings.
+
+        ``bindings`` is a sequence of per-execution parameter sets (each a
+        tuple/list, a dict, or ``None``); the server runs the statement
+        once per binding in a single request and streams the results back
+        in order.  Returns a :class:`PendingBatchResult` immediately.
+        """
+        pending = self._next_request()
+        message = protocol.ExecuteMany(
+            request_id=pending.request_id,
+            statement_id=statement.statement_id if statement else 0,
+            sql="" if statement else sql,
+            bindings=list(bindings),
+            options={name: value for name, value in options.items()
+                     if value is not None},
+            batch_rows=batch_rows)
+        try:
+            self._send(message)
+        except BaseException:
+            self._forget(pending)
+            raise
+        return PendingBatchResult(self, pending)
+
+    def execute_many(self, sql: str = "", bindings=(),
+                     statement: Optional[PreparedStatement] = None,
+                     timeout: Optional[float] = None,
+                     batch_rows: int = 0, **options) -> list:
+        """Run one statement for every binding; ordered result list."""
+        return self.execute_many_async(
+            sql, bindings=bindings, statement=statement,
             batch_rows=batch_rows, **options).result(timeout=timeout)
 
     def _cancel(self, target_request_id: int,

@@ -41,10 +41,11 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from .cache import PlanCache, auto_parameterize_sql, normalize_sql
+from .result_cache import ResultCache, result_cache_key
 from .catalog import Catalog
 from .codegen import CodeGenerator, GeneratedQuery, QueryRuntime, QueryState
 from .errors import ExecutionError, ReproError, SchedulerError
@@ -172,8 +173,13 @@ class QueryResult:
     ir_instructions: int = 0
     trace: Optional[object] = None
     #: True when this execution reused a prepared/cached plan (the parse /
-    #: bind / plan / codegen phases were skipped entirely).
+    #: bind / plan / codegen phases were skipped entirely) or was served
+    #: from the semantic result cache.
     cached: bool = False
+    #: What was reused: ``"plan"`` (cached plan, real execution),
+    #: ``"result"`` (materialized rows, no execution at all), or ``None``
+    #: for a cold run.
+    cache_source: Optional[str] = None
     #: True when a LIMIT-without-ORDER-BY quota cancelled morsel dispatch
     #: before the scan was exhausted.
     early_terminated: bool = False
@@ -198,6 +204,7 @@ class QueryResult:
         return {
             "mode": self.mode,
             "cached": self.cached,
+            "cache_source": self.cache_source,
             "chunks_pruned": self.timings.chunks_pruned,
             "chunks_scanned": self.timings.chunks_scanned,
             "breaker_partitions": self.timings.breaker_partitions,
@@ -243,12 +250,24 @@ class Database:
                  workers: int = DEFAULT_WORKERS,
                  max_concurrent: Optional[int] = None,
                  max_pending: int = 256,
-                 auto_parameterize: bool = True):
+                 auto_parameterize: bool = True,
+                 result_cache_size: Optional[int] = None,
+                 result_cache_bytes: Optional[int] = None):
         self.catalog = Catalog()
         self.morsel_size = morsel_size
         self._vm = VirtualMachine()
         #: LRU cache of prepared queries; ``plan_cache_size=0`` disables it.
         self.plan_cache = PlanCache(plan_cache_size)
+        #: Semantic result cache above the plan cache: repeated identical
+        #: reads return materialized rows with zero execution (see
+        #: :mod:`repro.result_cache`).  ``result_cache_size=0`` disables
+        #: it; ``ExecOptions.use_result_cache=False`` bypasses per call.
+        result_cache_kwargs = {}
+        if result_cache_size is not None:
+            result_cache_kwargs["capacity"] = result_cache_size
+        if result_cache_bytes is not None:
+            result_cache_kwargs["max_bytes"] = result_cache_bytes
+        self.result_cache = ResultCache(**result_cache_kwargs)
         #: Default for extracting literal constants into synthetic bind
         #: parameters on ``execute`` so differing constants share one plan
         #: cache entry; per-call ``ExecOptions.auto_parameterize`` overrides.
@@ -268,6 +287,19 @@ class Database:
         #: ``ExecOptions.telemetry``; the registry itself always exists.
         self.metrics = MetricsRegistry()
         self._query_telemetry = QueryTelemetry(self.metrics)
+        #: Per-call fused-batch size of ``execute_many`` (bindings that ran
+        #: through the fused prepared path, after dedup and cache hits).
+        self._fused_bindings = self.metrics.histogram(
+            "execute_many.fused_bindings",
+            "Bindings fused into one execute_many pass")
+        self._batch_calls = self.metrics.counter(
+            "execute_many.calls", "execute_many batch calls")
+        self._batch_bindings = self.metrics.counter(
+            "execute_many.bindings", "Total bindings across execute_many")
+        self._batch_dispatched = self.metrics.counter(
+            "execute_many.dispatched",
+            "Bindings served by the grouped-dispatch fallback "
+            "(baseline modes)")
         self._register_metric_callbacks()
 
     def _register_metric_callbacks(self) -> None:
@@ -286,6 +318,13 @@ class Database:
                      lambda n=name: getattr(self.plan_cache.stats, n))
         register("plan_cache.hit_rate",
                  lambda: self.plan_cache.stats.hit_rate)
+        register("result_cache.entries", lambda: len(self.result_cache))
+        for name in ("hits", "misses", "evictions", "invalidations",
+                     "rejected", "bytes"):
+            register(f"result_cache.{name}",
+                     lambda n=name: getattr(self.result_cache.stats, n))
+        register("result_cache.hit_rate",
+                 lambda: self.result_cache.stats.hit_rate)
         for name in ("submitted", "completed", "failed", "cancelled",
                      "rejected", "peak_running", "peak_pending"):
             register(f"scheduler.{name}", lambda n=name: (
@@ -594,6 +633,7 @@ class Database:
                 threads: Optional[int] = None,
                 collect_trace: Optional[bool] = None,
                 use_cache: Optional[bool] = None,
+                use_result_cache: Optional[bool] = None,
                 options: Optional[ExecOptions] = None,
                 params=None,
                 telemetry: Optional[str] = None) -> QueryResult:
@@ -623,7 +663,9 @@ class Database:
         """
         opts = ExecOptions.resolve(options, mode=mode, threads=threads,
                                    collect_trace=collect_trace,
-                                   use_cache=use_cache, telemetry=telemetry)
+                                   use_cache=use_cache,
+                                   use_result_cache=use_result_cache,
+                                   telemetry=telemetry)
         explain_kind, inner_sql = split_explain(sql)
         if explain_kind == "plan":
             return self._explain_plan(inner_sql, opts)
@@ -680,10 +722,219 @@ class Database:
                                              params=exec_params)
             if result is not None:
                 return result
-            # The cached entry is mid-execution on another thread; run an
-            # independent cold build instead of blocking on its state.
+            # The cached entry is mid-execution on another thread.  Before
+            # paying an independent cold build, try the result cache -- a
+            # hot identical read should never rebuild just because the
+            # shared entry is busy.
+            cached = prepared.cached_result(options=opts,
+                                            params=exec_params)
+            if cached is not None:
+                return cached
         prepared = self._build_prepared(exec_sql, parameter_hints=hints)
         return prepared.execute(options=opts, params=exec_params)
+
+    # ------------------------------------------------------------------ #
+    # batch bindings / semantic result reuse
+    # ------------------------------------------------------------------ #
+    def _usable_result_cache(self, opts: ExecOptions):
+        """The result cache if this execution may probe/populate it.
+
+        Mirrors ``PreparedQuery._usable_result_cache``: executions that
+        exist to observe execution (tracing, per-morsel telemetry,
+        operator-stat collection) run for real, and ``use_cache=False``
+        implies the result cache off as well.
+        """
+        if not self.result_cache.enabled:
+            return None
+        if not opts.use_cache or not opts.use_result_cache:
+            return None
+        if opts.collect_trace or opts.collect_operator_stats \
+                or opts.telemetry == "trace":
+            return None
+        return self.result_cache
+
+    def execute_many(self, sql: str, bindings, mode: Optional[str] = None,
+                     threads: Optional[int] = None,
+                     use_cache: Optional[bool] = None,
+                     options: Optional[ExecOptions] = None,
+                     telemetry: Optional[str] = None) -> list[QueryResult]:
+        """Execute one statement for every binding; one result per binding.
+
+        The batch form of :meth:`execute` for parameterized statements:
+        ``bindings`` is a sequence of per-execution parameter values (each
+        a sequence for ``?`` placeholders, a mapping for ``:name``
+        placeholders, or ``None`` for a literal-only statement).  Engine
+        modes fuse the whole batch into a single pass over one prepared
+        entry -- prepare/validate once, encode all bindings up front,
+        reuse compiled tiers across bindings, deduplicate identical
+        bindings and serve repeats from the semantic result cache.
+        Baseline modes take the grouped-dispatch fallback: one shared
+        prepare, then a per-binding dispatch, with the same result-cache
+        reuse -- so the API is total across all 7 execution modes.
+
+        EXPLAIN statements are rejected (they describe one execution, not
+        a batch); use :meth:`execute` / :meth:`explain` per statement.
+        """
+        opts = ExecOptions.resolve(options, mode=mode, threads=threads,
+                                   use_cache=use_cache, telemetry=telemetry)
+        explain_kind, _ = split_explain(sql)
+        if explain_kind:
+            raise ExecutionError(
+                "execute_many does not support EXPLAIN statements; use "
+                "execute() or explain() per statement")
+        self._validate_options(sql, opts)
+        bindings = list(bindings)
+        if not bindings:
+            return []
+        if opts.telemetry == "trace" and not opts.collect_trace \
+                and opts.mode in ENGINE_MODES:
+            opts = opts.merged(collect_trace=True)
+        record = opts.telemetry != "off"
+        if record:
+            self._batch_calls.inc()
+            self._batch_bindings.inc(len(bindings))
+        try:
+            if opts.mode in BASELINE_MODES:
+                results = self._execute_many_baseline(sql, opts, bindings)
+                if record:
+                    self._batch_dispatched.inc(len(bindings))
+            else:
+                results = self._execute_many_engine(sql, opts, bindings)
+                if record:
+                    self._fused_bindings.observe(len(bindings))
+        except Exception:
+            if record:
+                self._query_telemetry.record_failure(opts.mode)
+            raise
+        for result in results:
+            if record:
+                self._query_telemetry.record_result(sql, result)
+            else:
+                result.query_trace = None
+        return results
+
+    def _execute_many_engine(self, sql: str, opts: ExecOptions,
+                             bindings: list) -> list[QueryResult]:
+        """Fused batch execution over one plan-cache entry."""
+        if opts.use_cache and self.plan_cache.capacity > 0:
+            prepared = self.prepare_query(sql)
+            results = prepared.execute_many_nowait(bindings, options=opts)
+            if results is not None:
+                return results
+            # Busy entry: fall through to an independent cold build, same
+            # as the single-statement path.
+        prepared = self._build_prepared(sql)
+        return prepared.execute_many(bindings, options=opts)
+
+    def _execute_many_baseline(self, sql: str, opts: ExecOptions,
+                               bindings: list) -> list[QueryResult]:
+        """Grouped dispatch: one shared prepare, one dispatch per binding."""
+        from .prepared import referenced_tables
+
+        mode = opts.mode
+        bound, planning, build_timings = self.prepare(sql)
+        encoded = [bind_parameter_values(bound.parameters, binding)
+                   for binding in bindings]
+        result_cache = self._usable_result_cache(opts)
+        plan_key = normalize_sql(sql)
+        referenced = referenced_tables(planning)
+        results: list[Optional[QueryResult]] = [None] * len(bindings)
+        first = True
+
+        def run(values: list) -> QueryResult:
+            nonlocal first
+            timings = (replace(build_timings) if first else PhaseTimings())
+            result = self._run_baseline(planning, timings, mode, opts,
+                                        values)
+            result.cached = not first
+            if result.cached:
+                result.cache_source = "plan"
+            first = False
+            return result
+
+        if result_cache is None:
+            for index, values in enumerate(encoded):
+                results[index] = run(values)
+            return results
+        groups: dict[tuple, list[int]] = {}
+        for index, values in enumerate(encoded):
+            key = result_cache_key(plan_key, mode, values)
+            groups.setdefault(key, []).append(index)
+        from .prepared import PreparedQuery
+
+        for key, indices in groups.items():
+            entry = result_cache.get(key, self.catalog.table_version)
+            if entry is not None:
+                result = entry.to_result()
+            else:
+                versions = {name: self.catalog.table_version(name)
+                            for name in referenced}
+                result = run(encoded[indices[0]])
+                result_cache.put(key, versions, result)
+            results[indices[0]] = result
+            for duplicate in indices[1:]:
+                results[duplicate] = PreparedQuery._share_result(result)
+        return results
+
+    def cached_result(self, sql: str, params=None,
+                      options: Optional[ExecOptions] = None,
+                      **overrides) -> Optional[QueryResult]:
+        """A pure result-cache probe: the cached result or ``None``.
+
+        Never parses, plans, builds or executes anything -- the plan cache
+        is only *peeked* (no stats, no LRU motion) to recover the
+        statement's parameter specs, so this is safe to call from latency
+        -sensitive contexts like the network server's event loop, which
+        uses it to serve hot repeated reads without consuming a scheduler
+        admission slot.  Baseline modes always return ``None`` (they do
+        not populate the plan cache).
+        """
+        opts = ExecOptions.resolve(options, **overrides)
+        if opts.mode not in ENGINE_MODES:
+            return None
+        if self._usable_result_cache(opts) is None \
+                or self.plan_cache.capacity == 0:
+            return None
+        explain_kind, _ = split_explain(sql)
+        if explain_kind:
+            return None
+        exec_params, hints = params, None
+        key = sql
+        auto = (opts.auto_parameterize if opts.auto_parameterize is not None
+                else self.auto_parameterize)
+        if auto and params is None:
+            rewritten = auto_parameterize_sql(sql)
+            if rewritten is not None:
+                key, extracted = rewritten
+                exec_params = extracted
+                hints = extracted
+        key = normalize_sql(key)
+        if hints is not None:
+            key += _hint_type_tag(hints)
+        prepared = self.plan_cache.peek(key)
+        if prepared is None:
+            return None
+        result = prepared.cached_result(options=opts, params=exec_params)
+        if result is not None and opts.telemetry != "off":
+            self._query_telemetry.record_result(sql, result)
+        return result
+
+    def submit_many(self, sql: str, bindings,
+                    session: Optional[Session] = None, block: bool = True,
+                    timeout: Optional[float] = None,
+                    options: Optional[ExecOptions] = None,
+                    **overrides) -> QueryTicket:
+        """Submit a batch of bindings; the ticket resolves to a result list.
+
+        The asynchronous form of :meth:`execute_many`: admission control
+        treats the whole batch as one unit (one admission slot, one
+        ticket), and ``ticket.result()`` returns the ordered
+        ``list[QueryResult]``.
+        """
+        opts = ExecOptions.resolve(options, **overrides)
+        return self.scheduler.submit(sql, session=session, block=block,
+                                     timeout=timeout, options=opts,
+                                     bindings=list(bindings))
 
     # ------------------------------------------------------------------ #
     # EXPLAIN / EXPLAIN ANALYZE
@@ -895,11 +1146,33 @@ class Database:
     def _execute_baseline(self, sql: str, mode: str, params=None,
                           options: Optional[ExecOptions] = None
                           ) -> QueryResult:
-        from .baselines import VectorizedEngine, VolcanoEngine
+        from .prepared import referenced_tables
 
         opts = options if options is not None else ExecOptions(mode=mode)
         bound, planning, timings = self.prepare(sql)
         values = bind_parameter_values(bound.parameters, params)
+        # Baselines re-plan per call, so the probe sits behind the front
+        # end; the key uses the literal normalized text (baselines do not
+        # auto-parameterize, so differing constants differ textually).
+        result_cache = self._usable_result_cache(opts)
+        key = versions = None
+        if result_cache is not None:
+            key = result_cache_key(normalize_sql(sql), mode, values)
+            entry = result_cache.get(key, self.catalog.table_version)
+            if entry is not None:
+                return entry.to_result()
+            versions = {name: self.catalog.table_version(name)
+                        for name in referenced_tables(planning)}
+        result = self._run_baseline(planning, timings, mode, opts, values)
+        if result_cache is not None:
+            result_cache.put(key, versions, result)
+        return result
+
+    def _run_baseline(self, planning: PlanningResult, timings: PhaseTimings,
+                      mode: str, opts: ExecOptions,
+                      values: list) -> QueryResult:
+        from .baselines import VectorizedEngine, VolcanoEngine
+
         if mode == "volcano":
             engine = VolcanoEngine(
                 self.catalog, use_pruning=opts.use_pruning,

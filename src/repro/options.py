@@ -36,6 +36,12 @@ class ExecOptions:
     threads: int = 1
     collect_trace: bool = False
     use_cache: bool = True
+    #: Semantic result caching (:mod:`repro.result_cache`): repeated
+    #: identical reads are served from materialized rows without executing.
+    #: ``False`` forces real execution (the escape hatch for measuring
+    #: execution and for callers that want fresh statistics); results are
+    #: identical either way.  ``use_cache=False`` implies this off too.
+    use_result_cache: bool = True
     auto_parameterize: Optional[bool] = None
     #: Zone-map chunk pruning for table scans.  ``False`` scans every chunk
     #: (the escape hatch for measuring pruning and for debugging); results
@@ -130,6 +136,10 @@ class OptionsAccessors:
     @property
     def use_cache(self) -> bool:
         return self.options.use_cache
+
+    @property
+    def use_result_cache(self) -> bool:
+        return self.options.use_result_cache
 
     @property
     def use_pruning(self) -> bool:

@@ -46,13 +46,18 @@ class QueryTicket(OptionsAccessors):
     """Handle to one submitted query; resolves to a ``QueryResult``."""
 
     def __init__(self, scheduler: "QueryScheduler", sql: str,
-                 options: ExecOptions, params=None, session=None):
+                 options: ExecOptions, params=None, session=None,
+                 bindings=None):
         self._scheduler = scheduler
         self.sql = sql
         #: The resolved execution options of this submission.
         self.options = options
         #: Bind-parameter values (sequence / mapping / None).
         self.params = params
+        #: Batch bindings of an ``execute_many`` submission (``None`` for a
+        #: single execution).  A batch ticket resolves to the ordered
+        #: ``list[QueryResult]``.
+        self.bindings = bindings
         self.session = session
         self.submitted_at = time.perf_counter()
         self.started_at: Optional[float] = None
@@ -241,11 +246,14 @@ class QueryScheduler(TaskSource):
                session=None, block: bool = True,
                timeout: Optional[float] = None,
                options: Optional[ExecOptions] = None,
-               params=None) -> QueryTicket:
+               params=None, bindings=None) -> QueryTicket:
         """Queue ``sql`` for execution and return its ticket immediately.
 
         ``options`` carries the execution options (legacy keywords override
         individual fields); ``params`` supplies bind-parameter values.
+        ``bindings`` submits a whole ``execute_many`` batch as one unit:
+        the batch occupies a single admission slot and the ticket resolves
+        to the ordered result list instead of a single result.
         Invalid modes are rejected here (synchronously) rather than when
         the query eventually runs.  A full admission queue blocks the
         caller until space frees up (``timeout`` bounds the wait), or
@@ -255,7 +263,8 @@ class QueryScheduler(TaskSource):
                                    collect_trace=collect_trace,
                                    use_cache=use_cache)
         self._database._validate_options(sql, opts)
-        ticket = QueryTicket(self, sql, opts, params, session)
+        ticket = QueryTicket(self, sql, opts, params, session,
+                             bindings=bindings)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._pool.condition:
             while True:
@@ -325,9 +334,18 @@ class QueryScheduler(TaskSource):
             if observe:
                 self._queue_seconds.observe(
                     ticket.started_at - ticket.submitted_at)
-            result = self._database.execute(
-                ticket.sql, options=ticket.options, params=ticket.params)
-            result.timings.queue = ticket.started_at - ticket.submitted_at
+            queue_seconds = ticket.started_at - ticket.submitted_at
+            if ticket.bindings is not None:
+                result = self._database.execute_many(
+                    ticket.sql, ticket.bindings, options=ticket.options)
+                # The whole batch waited together; stamp the shared queue
+                # time on each result so latency accounting stays visible.
+                for item in result:
+                    item.timings.queue = queue_seconds
+            else:
+                result = self._database.execute(
+                    ticket.sql, options=ticket.options, params=ticket.params)
+                result.timings.queue = queue_seconds
         except BaseException as exc:
             error = exc
         # All bookkeeping happens *before* the ticket event fires, so a
@@ -342,10 +360,13 @@ class QueryScheduler(TaskSource):
             self._pool.condition.notify_all()
         session = ticket.session
         if session is not None:
-            if error is None:
-                session._record_result(result)
-            else:
+            if error is not None:
                 session._record_failure()
+            elif ticket.bindings is not None:
+                for item in result:
+                    session._record_result(item)
+            else:
+                session._record_result(result)
         if error is None:
             ticket._resolve(result)
         else:

@@ -101,6 +101,47 @@ class Session(OptionsAccessors):
         self._record_result(result)
         return result
 
+    def execute_many(self, sql: str, bindings, **overrides):
+        """Synchronously execute one statement for every binding.
+
+        The session counts each binding as one submitted/completed query
+        (they are logically N queries served in one batch); returns the
+        ordered ``list[QueryResult]``.
+        """
+        self._check_open()
+        options = self._resolve(overrides)
+        bindings = list(bindings)
+        with self._lock:
+            self._stats.submitted += len(bindings)
+        try:
+            results = self.database.execute_many(sql, bindings,
+                                                 options=options)
+        except BaseException:
+            self._record_failure()
+            raise
+        for result in results:
+            self._record_result(result)
+        return results
+
+    def submit_many(self, sql: str, bindings, **overrides):
+        """Submit an ``execute_many`` batch; returns its ``QueryTicket``.
+
+        The batch occupies one admission slot; the ticket resolves to the
+        ordered result list, and per-binding completion is recorded on
+        this session when the batch finishes.
+        """
+        self._check_open()
+        options = self._resolve(overrides)
+        bindings = list(bindings)
+        ticket = self.database.scheduler.submit(
+            sql, session=self, options=options, bindings=bindings)
+        # The scheduler counted one submission on enqueue; the remaining
+        # bindings of the batch are counted here so submitted == bindings.
+        if len(bindings) > 1:
+            with self._lock:
+                self._stats.submitted += len(bindings) - 1
+        return ticket
+
     def submit(self, sql: str, params=None, **overrides):
         """Submit ``sql`` to the scheduler; returns a ``QueryTicket``.
 

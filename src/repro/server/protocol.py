@@ -26,6 +26,13 @@ The conversation (see DESIGN.md, "Network serving"):
   (raw SQL or a prepared id) through ``Database.submit``.  Results stream
   in bounded batches; an ``ERROR`` with code ``BUSY`` carries the
   admission-control backpressure signal and a retry-after hint.
+* ``EXECUTE_MANY -> ROW_HEADER (ROW_BATCH* BATCH_DONE)xN DONE | ERROR`` --
+  run one statement for a whole batch of bindings in a single request.
+  Row batches of the N bindings stream in binding order; each binding is
+  terminated by a ``BATCH_DONE`` carrying its index, row count and cache
+  disposition, and the final ``DONE`` totals the batch.  Fully cached
+  batches are answered straight from the engine's result cache without
+  consuming a scheduler admission slot.
 * ``CANCEL -> CANCEL_RESULT`` -- resolve to ``QueryTicket.cancel`` of the
   target request (its own ``EXECUTE`` then answers with
   ``ERROR(CANCELLED)`` if the cancel won the race).
@@ -78,6 +85,7 @@ EXECUTE = 0x03
 CANCEL = 0x04
 CLOSE_STATEMENT = 0x05
 GOODBYE = 0x06
+EXECUTE_MANY = 0x07
 
 WELCOME = 0x81
 PREPARED = 0x82
@@ -87,6 +95,7 @@ DONE = 0x85
 ERROR = 0x86
 CANCEL_RESULT = 0x87
 OK = 0x88
+BATCH_DONE = 0x89
 
 #: Tagged-value encodings (parameters, option values, row values).
 _VAL_INT = 0
@@ -384,6 +393,104 @@ class Execute:
         return msg
 
 
+def _pack_params(writer: PayloadWriter, params) -> None:
+    """One binding in the EXECUTE params encoding (kind + values)."""
+    if params is None:
+        writer.u8(_PARAMS_NONE)
+    elif isinstance(params, dict):
+        writer.u8(_PARAMS_NAMED)
+        writer.u32(len(params))
+        for name, value in params.items():
+            writer.string(str(name))
+            writer.value(value)
+    else:
+        writer.u8(_PARAMS_POSITIONAL)
+        values = list(params)
+        writer.u32(len(values))
+        for value in values:
+            writer.value(value)
+
+
+def _unpack_params(reader: PayloadReader):
+    kind = reader.u8()
+    if kind == _PARAMS_POSITIONAL:
+        return [reader.value() for _ in range(reader.u32())]
+    if kind == _PARAMS_NAMED:
+        return {reader.string(): reader.value()
+                for _ in range(reader.u32())}
+    if kind != _PARAMS_NONE:
+        raise ProtocolError(f"unknown params kind {kind}")
+    return None
+
+
+@dataclass
+class ExecuteMany:
+    """Run one statement (raw SQL or prepared id) for a batch of bindings."""
+
+    frame_type = EXECUTE_MANY
+    request_id: int = 0
+    statement_id: int = 0
+    sql: str = ""
+    #: One entry per binding, each in the EXECUTE params encoding.
+    bindings: list = field(default_factory=list)
+    #: ``ExecOptions`` field overrides for this request (mode, threads, ...).
+    options: dict = field(default_factory=dict)
+    #: Max rows per ROW_BATCH frame (0 = server default).
+    batch_rows: int = 0
+
+    def pack_payload(self, writer: PayloadWriter) -> None:
+        writer.u64(self.request_id)
+        writer.u64(self.statement_id)
+        writer.string(self.sql)
+        writer.u32(len(self.bindings))
+        for binding in self.bindings:
+            _pack_params(writer, binding)
+        writer.u32(len(self.options))
+        for name, value in self.options.items():
+            writer.string(str(name))
+            writer.value(value)
+        writer.u32(self.batch_rows)
+
+    @classmethod
+    def unpack(cls, reader: PayloadReader) -> "ExecuteMany":
+        msg = cls(request_id=reader.u64(), statement_id=reader.u64(),
+                  sql=reader.string())
+        msg.bindings = [_unpack_params(reader)
+                        for _ in range(reader.u32())]
+        for _ in range(reader.u32()):
+            name = reader.string()
+            msg.options[name] = reader.value()
+        msg.batch_rows = reader.u32()
+        return msg
+
+
+@dataclass
+class BatchDone:
+    """Per-binding terminal frame inside an EXECUTE_MANY stream."""
+
+    frame_type = BATCH_DONE
+    request_id: int = 0
+    #: Zero-based position of the finished binding in the request's batch.
+    binding_index: int = 0
+    row_count: int = 0
+    cached: bool = False
+    #: What this binding reused: "" (cold), "plan" or "result".
+    cache_source: str = ""
+
+    def pack_payload(self, writer: PayloadWriter) -> None:
+        writer.u64(self.request_id)
+        writer.u32(self.binding_index)
+        writer.u64(self.row_count)
+        writer.u8(1 if self.cached else 0)
+        writer.string(self.cache_source)
+
+    @classmethod
+    def unpack(cls, reader: PayloadReader) -> "BatchDone":
+        return cls(request_id=reader.u64(), binding_index=reader.u32(),
+                   row_count=reader.u64(), cached=reader.u8() != 0,
+                   cache_source=reader.string())
+
+
 @dataclass
 class RowHeader:
     """Typed column metadata preceding the row batches of one EXECUTE."""
@@ -566,9 +673,9 @@ class Goodbye:
 
 _MESSAGE_TYPES = {
     cls.frame_type: cls
-    for cls in (Hello, Welcome, Prepare, Prepared, Execute, RowHeader,
-                RowBatch, Done, Error, Cancel, CancelResult,
-                CloseStatement, Ok, Goodbye)
+    for cls in (Hello, Welcome, Prepare, Prepared, Execute, ExecuteMany,
+                RowHeader, RowBatch, Done, BatchDone, Error, Cancel,
+                CancelResult, CloseStatement, Ok, Goodbye)
 }
 
 

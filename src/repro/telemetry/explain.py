@@ -120,6 +120,10 @@ class ExplainResult:
                          f", execution={self.timings.execution * 1000:.2f} ms")
         if self.output_rows is not None:
             parts.append(f", rows={self.output_rows}")
+        if self.result is not None and getattr(self.result, "cached", False):
+            source = getattr(self.result, "cache_source", None)
+            label = ("result-cache" if source == "result" else "plan-cache")
+            parts.append(f", cached={label}")
         return "".join(parts) + ")"
 
     @staticmethod

@@ -40,7 +40,11 @@ class QueryTelemetry:
             "query.count", "Queries executed (all modes)")
         self.failed = counter("query.failed", "Queries that raised")
         self.cached = counter(
-            "query.cached", "Executions served from the plan cache")
+            "query.cached",
+            "Executions that reused a cache (plan or result)")
+        self.result_cached = counter(
+            "query.result_cached",
+            "Executions served from the result cache (no execution)")
         self.rows = counter("query.rows", "Result rows returned")
         self.early_terminated = counter(
             "query.early_terminated", "LIMIT quota cancelled the scan")
@@ -97,6 +101,8 @@ class QueryTelemetry:
         self.rows.inc(len(result.rows))
         if result.cached:
             self.cached.inc()
+            if getattr(result, "cache_source", None) == "result":
+                self.result_cached.inc()
         if result.early_terminated:
             self.early_terminated.inc()
         self.seconds.observe(timings.total)

@@ -165,7 +165,10 @@ def test_execution_time_ordering(sales_db):
 
 
 def test_pipeline_stats_reported(sales_db):
-    result = sales_db.execute(QUERIES["join-group"], mode="optimized")
+    # use_result_cache=False: pipeline stats only exist on a real
+    # execution, and the shared fixture may have run this query already.
+    result = sales_db.execute(QUERIES["join-group"], mode="optimized",
+                              use_result_cache=False)
     assert len(result.pipelines) >= 3
     assert all(p.ir_instructions > 0 for p in result.pipelines)
 

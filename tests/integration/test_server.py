@@ -528,3 +528,78 @@ def test_server_and_scheduler_metrics_reach_prometheus(served_db):
     flat = db.metrics.flat_snapshot()
     assert flat["server.bytes_sent"] > 0
     assert flat["server.bytes_received"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# EXECUTE_MANY
+# --------------------------------------------------------------------------- #
+def test_execute_many_round_trip_matches_in_process(served_db):
+    db, server = served_db
+    sql = "select sum(b) as s from t where a % 10 = ?"
+    bindings = [(1,), (2,), (1,), (3,)]
+    expected = [db.execute(sql, params=b, use_result_cache=False).rows
+                for b in bindings]
+    db.result_cache.clear()
+    conn = connect(*server.address)
+    try:
+        results = conn.execute_many(sql, bindings=bindings, timeout=60)
+        assert [r.rows for r in results] == expected
+        # Intra-batch dedup: the repeated binding shares the first's result.
+        assert results[2].cache_source == "result"
+        assert all(r.mode == results[0].mode for r in results)
+
+        # The whole batch again: every binding is answerable from the
+        # result cache, so the server serves it on the loop thread without
+        # consuming a scheduler admission slot.
+        before = db.metrics.flat_snapshot()["server.result_cache_serves"]
+        repeat = conn.execute_many(sql, bindings=bindings, timeout=60)
+        assert [r.rows for r in repeat] == expected
+        assert all(r.cached and r.cache_source == "result" for r in repeat)
+        after = db.metrics.flat_snapshot()["server.result_cache_serves"]
+        assert after == before + 1
+    finally:
+        conn.close()
+
+
+def test_execute_many_via_prepared_statement(served_db):
+    db, server = served_db
+    conn = connect(*server.address)
+    try:
+        stmt = conn.prepare("select count(*) as n from t where a < ?")
+        results = stmt.execute_many([(10,), (20,), (10,)], timeout=60)
+        assert [r.rows for r in results] == [[(10,)], [(20,)], [(10,)]]
+        assert results[2].cache_source == "result"
+    finally:
+        conn.close()
+
+
+def test_execute_many_without_bindings_is_a_request_error(served_db):
+    _db, server = served_db
+    conn = connect(*server.address)
+    try:
+        with pytest.raises(ProtocolError):
+            conn.execute_many("select count(*) as n from t",
+                              bindings=[], timeout=60)
+        # The connection survives the request-level error.
+        result = conn.execute("select count(*) as n from t", timeout=60)
+        assert result.rows == [(400,)]
+    finally:
+        conn.close()
+
+
+def test_repeated_execute_skips_admission(served_db):
+    db, server = served_db
+    sql = "select sum(b) as s from t where a >= ?"
+    conn = connect(*server.address)
+    try:
+        first = conn.execute(sql, params=(100,), timeout=60)
+        submitted_before = db.scheduler.stats.submitted
+        second = conn.execute(sql, params=(100,), timeout=60)
+        assert second.rows == first.rows
+        assert second.cached
+        # Served from the result cache on the loop thread: no new
+        # scheduler submission, and the fast-path counter moved.
+        assert db.scheduler.stats.submitted == submitted_before
+        assert db.metrics.flat_snapshot()["server.result_cache_serves"] >= 1
+    finally:
+        conn.close()

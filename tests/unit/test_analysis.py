@@ -443,6 +443,33 @@ def report(stats):
 """)
         assert findings == []
 
+    def test_result_cache_key_fires_on_handrolled_key(self, tmp_path):
+        findings = run_lint(tmp_path, """
+def probe(self, sql, mode, values):
+    return self.result_cache.get((sql, mode, tuple(values)), None)
+""")
+        assert [f.rule for f in findings] == ["result-cache-key"]
+
+    def test_result_cache_key_allows_constructor(self, tmp_path):
+        findings = run_lint(tmp_path, """
+from repro.result_cache import result_cache_key
+
+def probe(self, sql, mode, values):
+    direct = self.result_cache.get(
+        result_cache_key(sql, mode, values), None)
+    key = result_cache_key(sql, mode, values)
+    self.result_cache.put(key, {}, direct)
+    return direct
+""")
+        assert findings == []
+
+    def test_result_cache_key_ignores_other_caches(self, tmp_path):
+        findings = run_lint(tmp_path, """
+def probe(self, sql):
+    return self.plan_cache.get(sql)
+""")
+        assert findings == []
+
     def test_engine_source_is_clean(self):
         rules = [cls() for cls in ALL_RULES]
         assert len(rules) >= 4

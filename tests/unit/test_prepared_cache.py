@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro import Database, PlanCache, SQLType, normalize_sql
+from repro import Database, ExecOptions, PlanCache, SQLType, normalize_sql
 from repro.backend.cost_model import CostModel, TierEstimate
 from repro.errors import ExecutionError
 
@@ -112,8 +112,10 @@ class TestPlanCache:
 
 class TestTransparentCache:
     def test_hit_skips_frontend_phases(self, db):
-        first = db.execute(SQL, mode="optimized")
-        second = db.execute(SQL, mode="optimized")
+        # use_result_cache=False: this test measures the *plan* cache (the
+        # repeat must re-execute, just without the front-end phases).
+        first = db.execute(SQL, mode="optimized", use_result_cache=False)
+        second = db.execute(SQL, mode="optimized", use_result_cache=False)
         assert not first.cached and second.cached
         assert first.timings.parse > 0 and first.timings.compile > 0
         assert second.timings.parse == 0
@@ -159,7 +161,7 @@ class TestTransparentCache:
         assert cold.timings.parse > 0 and cold.timings.compile > 0
 
     def test_disabled_cache(self):
-        db = Database(plan_cache_size=0)
+        db = Database(plan_cache_size=0, result_cache_size=0)
         db.create_table("t", [("a", SQLType.INT64)])
         db.insert("t", [(i,) for i in range(10)])
         sql = "select sum(a) as s from t"
@@ -243,7 +245,10 @@ class TestPreparedQuery:
         first = prepared.execute(mode="adaptive", cost_model=model)
         switched = [p for p in first.pipelines if len(p.mode_history) > 1]
         assert switched, "expected at least one pipeline to switch tiers"
-        second = prepared.execute(mode="adaptive", cost_model=model)
+        second = prepared.execute(cost_model=model,
+                                  options=ExecOptions(
+                                      mode="adaptive",
+                                      use_result_cache=False))
         assert second.timings.compile == 0.0  # tiers and bytecode reused
         reused = [p for p in second.pipelines
                   if p.mode_history[0] != "bytecode"]
@@ -266,8 +271,11 @@ class TestPreparedQuery:
         try:
             assert entered.wait(timeout=5)
             assert prepared.execute_nowait(mode="bytecode") is None
-            # Database.execute must fall back to a cold build, not block.
-            result = db.execute(SQL, mode="bytecode")
+            # Database.execute must fall back to a cold build, not block
+            # (use_result_cache=False: with the cache on, a busy entry is
+            # instead served from the cached result -- tested separately).
+            result = db.execute(SQL, mode="bytecode",
+                                use_result_cache=False)
             assert not result.cached
         finally:
             release.set()

@@ -382,7 +382,10 @@ class TestSatelliteFixes:
         def client():
             try:
                 for _ in range(runs_per_thread):
-                    db.execute(SUM_SQL, mode="bytecode")
+                    # use_result_cache=False: every run must reach the VM
+                    # for the instruction count to be exact.
+                    db.execute(SUM_SQL, mode="bytecode",
+                               use_result_cache=False)
             except BaseException as exc:  # pragma: no cover - diagnostic
                 errors.append(exc)
 
